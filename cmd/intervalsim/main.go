@@ -1,0 +1,152 @@
+// Command intervalsim runs one workload on one simulated machine and
+// prints per-core results — the quick way to try the simulator.
+//
+// Usage:
+//
+//	intervalsim -bench gcc                          # SPEC profile, interval model
+//	intervalsim -bench gcc -model detailed          # cycle-level baseline
+//	intervalsim -bench blackscholes -cores 4        # PARSEC profile, 4 threads
+//	intervalsim -bench mcf -copies 4                # multi-program: 4 copies
+//	intervalsim -list                               # available profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/multicore"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark profile name")
+		model  = flag.String("model", "interval", "core model: interval, detailed, oneipc")
+		cores  = flag.Int("cores", 1, "cores (threads for PARSEC profiles)")
+		copies = flag.Int("copies", 0, "run N copies of a SPEC profile (multi-program)")
+		insts  = flag.Int("insts", 100_000, "per-thread instruction budget for SPEC profiles")
+		warmup = flag.Int("warmup", 600_000, "functional warmup instructions per core")
+		seed   = flag.Int64("seed", 42, "workload seed")
+		list   = flag.Bool("list", false, "list available benchmark profiles")
+		stack  = flag.Bool("cpistack", false, "print per-core CPI stacks (interval model only)")
+		rep    = flag.Bool("report", false, "print the full post-run report (hierarchy, bus, DRAM, coherence)")
+
+		fabric    = flag.String("fabric", "bus", "on-chip interconnect: bus, mesh, ring")
+		coherence = flag.String("coherence", "moesi", "coherence protocol: moesi, mesi, directory")
+		dram      = flag.String("dram", "fixed", "main-memory model: fixed, banked")
+		prefetch  = flag.String("prefetch", "", "prefetcher: none, nextline, stride")
+		predictor = flag.String("predictor", "local", "direction predictor: local, gshare, bimodal, tournament, tage, perfect")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC CPU2000-like (single-threaded):")
+		for _, p := range workload.SPEC() {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		fmt.Println("PARSEC-like (multi-threaded, full-system):")
+		for _, p := range workload.PARSEC() {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var mdl multicore.Model
+	switch *model {
+	case "interval":
+		mdl = multicore.Interval
+	case "detailed":
+		mdl = multicore.Detailed
+	case "oneipc":
+		mdl = multicore.OneIPC
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	n := *cores
+	if *copies > 0 {
+		n = *copies
+	}
+	machine := config.Default(n)
+	if *fabric != "bus" {
+		machine.Mem.Interconnect = *fabric
+	}
+	if *coherence != "moesi" {
+		machine.Mem.Coherence = *coherence
+	}
+	if *dram == "banked" {
+		machine.Mem.DRAMKind = "banked"
+	}
+	if *prefetch != "" && *prefetch != "none" {
+		machine.Mem.Prefetch = *prefetch
+		machine.Mem.PrefetchDegree = 2
+	}
+	if *predictor != "local" {
+		machine.Branch.Kind = *predictor
+	}
+
+	var streams, warm []trace.Stream
+	if p := workload.SPECByName(*bench); p != nil {
+		for i := 0; i < n; i++ {
+			streams = append(streams, trace.NewLimit(workload.New(p, i, n, *seed), *insts))
+			warm = append(warm, workload.New(p, i, n, *seed+1000))
+		}
+	} else if p := workload.PARSECByName(*bench); p != nil {
+		for i := 0; i < n; i++ {
+			streams = append(streams, workload.New(p, i, n, *seed))
+			warm = append(warm, workload.New(p, i, n, *seed+1000))
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+
+	cfg := multicore.RunConfig{
+		Machine:     machine,
+		Model:       mdl,
+		WarmupInsts: *warmup,
+		Warmup:      warm,
+		MaxCycles:   2_000_000_000,
+	}
+	if *stack && mdl != multicore.Interval {
+		fmt.Fprintln(os.Stderr, "-cpistack requires -model interval")
+		os.Exit(2)
+	}
+	cfg.KeepCores = *stack || *rep
+	res := multicore.Run(cfg, streams)
+	if *rep {
+		fmt.Print(report.Format(res))
+		if res.TimedOut {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("benchmark=%s model=%s cores=%d\n", *bench, res.Model, n)
+	fmt.Printf("cycles=%d total-instructions=%d wall=%v (%.2f MIPS)\n",
+		res.Cycles, res.TotalRetired, res.Wall, res.MIPS())
+	for i, c := range res.Cores {
+		fmt.Printf("  core %d: retired=%d finish=%d IPC=%.3f\n", i, c.Retired, c.Finish, c.IPC)
+	}
+	if *stack {
+		for i, sc := range res.Sim {
+			if ic, ok := sc.(*core.Core); ok {
+				fmt.Printf("core %d %s", i, ic.Stack())
+			}
+		}
+	}
+	if res.TimedOut {
+		fmt.Println("WARNING: run hit the cycle limit before completing")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,175 @@
+// Command sweep explores a design space with interval simulation — the
+// paper's headline use case: culling a large space quickly with the
+// analytical core model, so that detailed simulation can focus on the
+// surviving region.
+//
+// Four sweeps are built in:
+//
+//	-sweep core    ROB size × dispatch width (core sizing)
+//	-sweep l2      L2 capacity (cache sizing)
+//	-sweep fabric  bus vs mesh vs ring on-chip interconnect, 4-16 cores
+//	-sweep dram    fixed-latency vs banked row-buffer DRAM
+//
+// Each prints one IPC (or cycles) table over a set of benchmark profiles.
+//
+//	go run ./cmd/sweep -sweep core -profiles gcc,mcf,swim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		sweep    = flag.String("sweep", "core", "design-space sweep: core, l2, fabric, dram")
+		profiles = flag.String("profiles", "gcc,mcf,swim", "comma-separated benchmark profiles")
+		insts    = flag.Int("n", 50_000, "measured instructions per run")
+		warm     = flag.Int("warmup", 300_000, "functional warmup instructions per run")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		detailed = flag.Bool("detailed", false, "cross-check each point with the detailed model (slow)")
+	)
+	flag.Parse()
+
+	names := strings.Split(*profiles, ",")
+	s := &sweeper{insts: *insts, warm: *warm, seed: *seed, detailed: *detailed}
+	switch *sweep {
+	case "core":
+		s.sweepCore(names)
+	case "l2":
+		s.sweepL2(names)
+	case "fabric":
+		s.sweepFabric(names)
+	case "dram":
+		s.sweepDRAM(names)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q (want core, l2, fabric or dram)\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+type sweeper struct {
+	insts, warm int
+	seed        int64
+	detailed    bool
+}
+
+// ipc runs profile name on machine m and returns interval-model IPC (and
+// detailed-model IPC when cross-checking).
+func (s *sweeper) ipc(name string, m config.Machine) (float64, float64) {
+	p := workload.SPECByName(name)
+	run := func(model multicore.Model) float64 {
+		res := multicore.Run(multicore.RunConfig{
+			Machine:     m,
+			Model:       model,
+			WarmupInsts: s.warm,
+			Warmup:      []trace.Stream{workload.New(p, 0, 1, s.seed+1000)},
+		}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, s.seed), s.insts)})
+		return res.Cores[0].IPC
+	}
+	iv := run(multicore.Interval)
+	var det float64
+	if s.detailed {
+		det = run(multicore.Detailed)
+	}
+	return iv, det
+}
+
+func (s *sweeper) header(names []string) {
+	fmt.Printf("%-22s", "configuration")
+	for _, n := range names {
+		fmt.Printf(" %10s", n)
+	}
+	fmt.Println()
+}
+
+func (s *sweeper) row(label string, names []string, m config.Machine) {
+	fmt.Printf("%-22s", label)
+	for _, n := range names {
+		iv, det := s.ipc(n, m)
+		if s.detailed {
+			fmt.Printf(" %5.2f/%4.2f", iv, det)
+		} else {
+			fmt.Printf(" %10.3f", iv)
+		}
+	}
+	fmt.Println()
+}
+
+func (s *sweeper) sweepCore(names []string) {
+	fmt.Println("== core sizing: IPC by ROB size x dispatch width (interval model) ==")
+	s.header(names)
+	for _, rob := range []int{64, 128, 256, 512} {
+		for _, width := range []int{2, 4, 8} {
+			m := config.Default(1)
+			m.Core.ROBSize = rob
+			m.Core.DecodeWidth = width
+			m.Core.IssueWidth = width + 2
+			m.Core.FetchWidth = 2 * width
+			s.row(fmt.Sprintf("ROB=%-4d width=%d", rob, width), names, m)
+		}
+	}
+}
+
+func (s *sweeper) sweepL2(names []string) {
+	fmt.Println("== cache sizing: IPC by shared L2 capacity (interval model) ==")
+	s.header(names)
+	for _, mb := range []int{1, 2, 4, 8} {
+		m := config.Default(1)
+		m.Mem.L2.SizeBytes = mb << 20
+		s.row(fmt.Sprintf("L2=%dMB", mb), names, m)
+	}
+	m := config.Default(1)
+	m.Mem.HasL2 = false
+	s.row("no L2", names, m)
+}
+
+func (s *sweeper) sweepFabric(names []string) {
+	fmt.Println("== interconnect: multi-program cycles by fabric and core count (interval model) ==")
+	fmt.Printf("%-22s %12s %14s %12s\n", "configuration", "cycles", "fabric-stall", "utilization")
+	for _, cores := range []int{4, 8, 16} {
+		for _, fabric := range []string{"bus", "mesh", "ring"} {
+			m := config.Default(cores)
+			m.Mem.Interconnect = fabric
+			streams := make([]trace.Stream, cores)
+			warms := make([]trace.Stream, cores)
+			for i := range streams {
+				p := workload.SPECByName(names[i%len(names)])
+				streams[i] = trace.NewLimit(workload.New(p, 0, 1, s.seed+int64(i)), s.insts)
+				warms[i] = workload.New(p, 0, 1, s.seed+1000+int64(i))
+			}
+			res := multicore.Run(multicore.RunConfig{
+				Machine:     m,
+				Model:       multicore.Interval,
+				WarmupInsts: s.warm,
+				Warmup:      warms,
+				KeepCores:   true,
+			}, streams)
+			fab := res.Mem.Fabric()
+			fmt.Printf("%-22s %12d %14d %11.1f%%\n",
+				fmt.Sprintf("%d cores, %s", cores, fabric),
+				res.Cycles, fab.StallCycles(), 100*fab.Utilization(res.Cycles))
+		}
+	}
+}
+
+func (s *sweeper) sweepDRAM(names []string) {
+	fmt.Println("== main memory: IPC with fixed-latency vs banked row-buffer DRAM (interval model) ==")
+	s.header(names)
+	fixed := config.Default(1)
+	s.row("fixed 150cy", names, fixed)
+	banked := config.Default(1)
+	banked.Mem.DRAMKind = "banked"
+	s.row("banked 90/180cy", names, banked)
+	wide := config.Default(1)
+	wide.Mem.DRAMKind = "banked"
+	wide.Mem.DRAMBanks = 32
+	s.row("banked, 32 banks", names, wide)
+}

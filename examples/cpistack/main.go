@@ -1,0 +1,64 @@
+// CPI stacks: the practical payoff of interval simulation. Because every
+// miss event charges an explicit analytical penalty, the model decomposes
+// execution time into components exactly — where a detailed simulator has
+// to approximate stall attribution. This example prints CPI stacks for
+// benchmarks with very different bottlenecks.
+//
+//	go run ./examples/cpistack
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/memhier"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func stackOf(name string) core.CPIStack {
+	p := workload.SPECByName(name)
+	m := config.Default(1)
+	mem := memhier.New(1, m.Mem, memhier.Perfect{})
+	bp := branch.NewUnit(m.Branch)
+
+	// Functional warmup, then a measured run on the interval core.
+	warm := workload.New(p, 0, 1, 1042)
+	for k := 0; k < 600_000; k++ {
+		in, ok := warm.Next()
+		if !ok {
+			break
+		}
+		mem.Inst(0, in.PC, 0)
+		if in.Class.IsBranch() {
+			bp.Predict(&in)
+		}
+		if in.Class.IsMem() {
+			mem.Data(0, in.Addr, in.Class == isa.Store, 0)
+		}
+	}
+	mem.ResetStats()
+	bp.ResetStats()
+
+	c := core.New(0, m.Core, bp, mem,
+		trace.NewLimit(workload.New(p, 0, 1, 42), 100_000), sim.NullSyncer{})
+	var now int64
+	for !c.Done() {
+		c.Step(now)
+		now++
+	}
+	return c.Stack()
+}
+
+func main() {
+	for _, name := range []string{"mesa", "gcc", "mcf", "swim"} {
+		fmt.Printf("== %s ==\n%s\n", name, stackOf(name))
+	}
+	fmt.Println("mesa is compute-bound (base dominates); gcc splits between branch")
+	fmt.Println("and memory; mcf drowns in long-latency loads; swim pays DRAM")
+	fmt.Println("bandwidth. The stacks make the bottleneck visible at a glance.")
+}

@@ -1,0 +1,54 @@
+// Multi-threaded scaling study: run PARSEC-like benchmarks on 1-8 cores
+// and report parallel speedup (the data behind the paper's Figure 7),
+// including the synchronization effects — barriers, locks and load
+// imbalance — that make some benchmarks stop scaling.
+//
+//	go run ./examples/parsecscale
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func run(p *workload.Profile, cores int) multicore.Result {
+	machine := config.Default(cores)
+	streams := make([]trace.Stream, cores)
+	warm := make([]trace.Stream, cores)
+	for i := range streams {
+		streams[i] = workload.New(p, i, cores, 42)
+		warm[i] = workload.New(p, i, cores, 1042)
+	}
+	return multicore.Run(multicore.RunConfig{
+		Machine:     machine,
+		Model:       multicore.Interval,
+		WarmupInsts: 300_000,
+		Warmup:      warm,
+	}, streams)
+}
+
+func main() {
+	fmt.Println("PARSEC-like scaling (interval simulation, speedup over 1 core):")
+	fmt.Printf("%-14s %8s %8s %8s %8s\n", "benchmark", "1", "2", "4", "8")
+	for _, name := range []string{"blackscholes", "streamcluster", "fluidanimate", "vips"} {
+		p := workload.PARSECByName(name)
+		var base int64
+		row := fmt.Sprintf("%-14s", name)
+		for _, cores := range []int{1, 2, 4, 8} {
+			res := run(p, cores)
+			if cores == 1 {
+				base = res.Cycles
+			}
+			row += fmt.Sprintf(" %8.2f", float64(base)/float64(res.Cycles))
+		}
+		fmt.Println(row)
+	}
+	fmt.Println()
+	fmt.Println("blackscholes scales almost linearly; streamcluster saturates the")
+	fmt.Println("memory bus; fluidanimate pays for fine-grained locks; vips is held")
+	fmt.Println("back by its serial pipeline stage.")
+}

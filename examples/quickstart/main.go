@@ -1,0 +1,48 @@
+// Quickstart: simulate one benchmark with interval simulation and compare
+// it against the detailed cycle-level baseline on the same machine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Pick a benchmark profile — the synthetic stand-in for a SPEC
+	// CPU2000 binary (here: gcc-like, branchy with a large code
+	// footprint).
+	profile := workload.SPECByName("gcc")
+
+	// 2. Describe the machine: Table 1 of the paper, one core.
+	machine := config.Default(1)
+
+	// 3. Run the same instruction stream under both core models. The
+	// streams are deterministic: both models see identical instructions
+	// and drive identical branch-predictor and memory-hierarchy
+	// simulators; only the core timing model differs.
+	const n = 100_000
+	for _, model := range []multicore.Model{multicore.Detailed, multicore.Interval} {
+		stream := trace.NewLimit(workload.New(profile, 0, 1, 42), n)
+		warm := workload.New(profile, 0, 1, 1042)
+		res := multicore.Run(multicore.RunConfig{
+			Machine:     machine,
+			Model:       model,
+			WarmupInsts: 600_000,
+			Warmup:      []trace.Stream{warm},
+		}, []trace.Stream{stream})
+
+		fmt.Printf("%-9s IPC=%.3f cycles=%-8d wall=%-12v %.2f MIPS\n",
+			res.Model, res.Cores[0].IPC, res.Cycles, res.Wall, res.MIPS())
+	}
+
+	fmt.Println()
+	fmt.Println("Interval simulation replaces the cycle-accurate core model with a")
+	fmt.Println("mechanistic analytical model: expect a close IPC at a much higher")
+	fmt.Println("simulation speed.")
+}

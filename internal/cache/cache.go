@@ -1,0 +1,267 @@
+// Package cache implements the structural cache and TLB models used by the
+// memory hierarchy: set-associative caches with true-LRU replacement and
+// write-back/write-allocate policy, TLBs, and an MSHR file for merging
+// outstanding misses.
+//
+// These models are purely structural: they track which lines are present
+// and in what state, and answer hit/miss queries. Latency composition and
+// coherence are handled by the memhier and coherence packages.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// line is one cache line frame.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp; larger is more recent
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It is a
+// structural model: Access and Probe report presence, Fill inserts lines
+// and reports the evicted victim.
+type Cache struct {
+	cfg      config.Cache
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	stamp    uint64
+
+	// Statistics.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	WriteBack uint64
+}
+
+// New creates a cache with the given geometry. It panics if the geometry is
+// not a power-of-two number of sets, because index extraction uses masking.
+func New(cfg config.Cache) *Cache {
+	nsets := cfg.Sets()
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", nsets))
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d is not a power of two", cfg.LineSize))
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: uint(log2(cfg.LineSize)),
+		setMask:  uint64(nsets - 1),
+	}
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() config.Cache { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineSize) - 1)
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.setShift
+	return blk & c.setMask, blk >> uint(log2(len(c.sets)))
+}
+
+// Access looks up addr, updating LRU state and statistics. write marks the
+// line dirty on a hit. It returns whether the access hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	hit, _ := c.AccessRW(addr, write)
+	return hit
+}
+
+// AccessRW is Access returning additionally whether a write hit found the
+// line already dirty (in which case the coherence state must already be
+// Modified and no protocol action is needed — a hot-path shortcut).
+func (c *Cache) AccessRW(addr uint64, write bool) (hit, wasDirty bool) {
+	set, tag := c.index(addr)
+	c.stamp++
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.stamp
+			wasDirty = ln.dirty
+			if write {
+				ln.dirty = true
+			}
+			c.Hits++
+			return true, wasDirty
+		}
+	}
+	c.Misses++
+	return false, false
+}
+
+// Probe reports whether addr is present without updating LRU state or
+// statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line evicted by Fill.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Fill inserts the line containing addr, evicting the LRU way if the set is
+// full. dirty marks the inserted line dirty (write-allocate store miss).
+// The returned victim is valid only if an existing line was displaced.
+func (c *Cache) Fill(addr uint64, dirty bool) Victim {
+	set, tag := c.index(addr)
+	c.stamp++
+	ways := c.sets[set]
+	victimIdx := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range ways {
+		ln := &ways[i]
+		if ln.valid && ln.tag == tag {
+			// Already present (e.g. filled by an overlapping miss);
+			// refresh it.
+			ln.lru = c.stamp
+			if dirty {
+				ln.dirty = true
+			}
+			return Victim{}
+		}
+		if !ln.valid {
+			victimIdx = i
+			oldest = 0
+			break
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victimIdx = i
+		}
+	}
+	ln := &ways[victimIdx]
+	var v Victim
+	if ln.valid {
+		v = Victim{
+			Addr:  (ln.tag<<uint(log2(len(c.sets))) | set) << c.setShift,
+			Dirty: ln.dirty,
+			Valid: true,
+		}
+		c.Evictions++
+		if ln.dirty {
+			c.WriteBack++
+		}
+	}
+	*ln = line{tag: tag, valid: true, dirty: dirty, lru: c.stamp}
+	return v
+}
+
+// Invalidate removes the line containing addr if present, returning whether
+// it was present and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			present, dirty = true, ln.dirty
+			ln.valid = false
+			ln.dirty = false
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Clean clears the dirty bit of the line containing addr if present.
+func (c *Cache) Clean(addr uint64) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.dirty = false
+			return
+		}
+	}
+}
+
+// Reset empties the cache and clears statistics.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = line{}
+		}
+	}
+	c.stamp = 0
+	c.Hits, c.Misses, c.Evictions, c.WriteBack = 0, 0, 0, 0
+}
+
+// MissRate returns Misses / (Hits + Misses), or 0 for no accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// ValidLines counts the number of valid lines (test helper).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DuplicateTags reports whether any set holds the same tag twice; always
+// false for a correct implementation (used by property tests).
+func (c *Cache) DuplicateTags() bool {
+	for s := range c.sets {
+		seen := make(map[uint64]bool, len(c.sets[s]))
+		for i := range c.sets[s] {
+			ln := &c.sets[s][i]
+			if !ln.valid {
+				continue
+			}
+			if seen[ln.tag] {
+				return true
+			}
+			seen[ln.tag] = true
+		}
+	}
+	return false
+}
+
+// ResetStats clears the statistics counters without touching contents,
+// for functional-warmup runs.
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses, c.Evictions, c.WriteBack = 0, 0, 0, 0
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// TLB is a set-associative translation lookaside buffer. It reuses the
+// cache line model at page granularity: a "line" is one page translation.
+type TLB struct {
+	cfg   config.TLB
+	inner *Cache
+}
+
+// NewTLB creates a TLB with the given geometry.
+func NewTLB(cfg config.TLB) *TLB {
+	if cfg.PageSize&(cfg.PageSize-1) != 0 {
+		panic(fmt.Sprintf("tlb: page size %d is not a power of two", cfg.PageSize))
+	}
+	inner := New(config.Cache{
+		SizeBytes: cfg.Entries * cfg.PageSize,
+		Assoc:     cfg.Assoc,
+		LineSize:  cfg.PageSize,
+	})
+	return &TLB{cfg: cfg, inner: inner}
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() config.TLB { return t.cfg }
+
+// Access translates addr: it returns true on a TLB hit. On a miss the
+// translation is installed (the page walk itself is timed by the caller
+// using Config().MissLatency).
+func (t *TLB) Access(addr uint64) bool {
+	if t.inner.Access(addr, false) {
+		return true
+	}
+	t.inner.Fill(addr, false)
+	return false
+}
+
+// Probe reports presence without side effects.
+func (t *TLB) Probe(addr uint64) bool { return t.inner.Probe(addr) }
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.inner.Hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.inner.Misses }
+
+// Reset empties the TLB and clears statistics.
+func (t *TLB) Reset() { t.inner.Reset() }
+
+// MSHR is a file of miss status holding registers: it tracks line addresses
+// with misses outstanding until a given time, so that overlapping requests
+// to the same line merge instead of issuing duplicate fills. The timing
+// models use it to bound memory-level parallelism and to give secondary
+// misses the residual latency of the primary miss.
+type MSHR struct {
+	entries  int
+	pending  map[uint64]int64 // line address -> completion time
+	Merged   uint64           // secondary misses merged into a primary
+	Rejected uint64           // misses rejected because the file was full
+}
+
+// NewMSHR creates an MSHR file with the given number of entries.
+func NewMSHR(entries int) *MSHR {
+	return &MSHR{entries: entries, pending: make(map[uint64]int64, entries)}
+}
+
+// Lookup returns the completion time of an outstanding miss on lineAddr, if
+// any, after discarding entries that completed at or before now.
+func (m *MSHR) Lookup(lineAddr uint64, now int64) (completion int64, ok bool) {
+	m.expire(now)
+	completion, ok = m.pending[lineAddr]
+	return completion, ok
+}
+
+// Insert records a miss on lineAddr completing at completion. It reports
+// false if the file is full (the caller should stall the request).
+func (m *MSHR) Insert(lineAddr uint64, completion int64, now int64) bool {
+	m.expire(now)
+	if _, ok := m.pending[lineAddr]; ok {
+		m.Merged++
+		return true
+	}
+	if len(m.pending) >= m.entries {
+		m.Rejected++
+		return false
+	}
+	m.pending[lineAddr] = completion
+	return true
+}
+
+// Outstanding returns the number of live entries at time now.
+func (m *MSHR) Outstanding(now int64) int {
+	m.expire(now)
+	return len(m.pending)
+}
+
+func (m *MSHR) expire(now int64) {
+	for a, t := range m.pending {
+		if t <= now {
+			delete(m.pending, a)
+		}
+	}
+}
+
+// Reset empties the file and clears statistics.
+func (m *MSHR) Reset() {
+	m.pending = make(map[uint64]int64, m.entries)
+	m.Merged, m.Rejected = 0, 0
+}
+
+// ResetStats clears the TLB statistics without touching contents.
+func (t *TLB) ResetStats() { t.inner.ResetStats() }

@@ -1,0 +1,228 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// dirEntry is the directory's record for one line: either a single owner
+// holding the line Exclusive/Modified, or a set of Shared copies.
+type dirEntry struct {
+	// owner is the core holding the line M or E, or -1.
+	owner int
+	// ownerDirty distinguishes Modified (true) from Exclusive.
+	ownerDirty bool
+	// sharers is a bitmap of cores holding Shared copies (meaningful
+	// only when owner < 0).
+	sharers uint64
+}
+
+// Directory is a MESI directory protocol: a home node tracks, per line,
+// either a single exclusive owner or a sharer bitmap, and forwards or
+// invalidates copies point-to-point instead of broadcasting on a snoop
+// bus. It is the scalable coherence alternative for mesh/ring fabrics;
+// comparing it with snooping MOESI is a system-level trade-off of exactly
+// the kind the paper positions interval simulation for.
+//
+// The protocol is four-state (MESI): a dirty line read by another core is
+// written back below and both copies become Shared, matching the snooping
+// MESI variant so that the two implementations are observationally
+// equivalent transaction by transaction (a property the tests check).
+type Directory struct {
+	cores int
+	lines map[uint64]*dirEntry
+
+	// Statistics.
+	ReadMisses      uint64
+	WriteMisses     uint64
+	Upgrades        uint64
+	Interventions   uint64
+	InvalidationsTx uint64
+}
+
+// NewDirectory creates a MESI directory for the given core count (at most
+// 64, the sharer-bitmap width).
+func NewDirectory(cores int) *Directory {
+	if cores < 1 || cores > 64 {
+		panic(fmt.Sprintf("coherence: directory supports 1..64 cores, got %d", cores))
+	}
+	return &Directory{cores: cores, lines: make(map[uint64]*dirEntry)}
+}
+
+// Cores returns the number of cores the directory was built for.
+func (d *Directory) Cores() int { return d.cores }
+
+func (d *Directory) entry(lineAddr uint64) *dirEntry {
+	e, ok := d.lines[lineAddr]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.lines[lineAddr] = e
+	}
+	return e
+}
+
+func (d *Directory) gc(lineAddr uint64, e *dirEntry) {
+	if e.owner < 0 && e.sharers == 0 {
+		delete(d.lines, lineAddr)
+	}
+}
+
+// State implements Engine.
+func (d *Directory) State(core int, lineAddr uint64) State {
+	e, ok := d.lines[lineAddr]
+	if !ok {
+		return Invalid
+	}
+	if e.owner == core {
+		if e.ownerDirty {
+			return Modified
+		}
+		return Exclusive
+	}
+	if e.owner < 0 && e.sharers&(1<<uint(core)) != 0 {
+		return Shared
+	}
+	return Invalid
+}
+
+// Read implements Engine.
+func (d *Directory) Read(core int, lineAddr uint64) Result {
+	e := d.entry(lineAddr)
+	bit := uint64(1) << uint(core)
+	switch {
+	case e.owner == core:
+		st := Exclusive
+		if e.ownerDirty {
+			st = Modified
+		}
+		return Result{Source: SrcOwn, NewState: st}
+	case e.owner < 0 && e.sharers&bit != 0:
+		return Result{Source: SrcOwn, NewState: Shared}
+	}
+	d.ReadMisses++
+	if e.owner >= 0 {
+		// Forward from the owner; the owner downgrades to Shared. A
+		// dirty owner writes back below (MESI has no Owned state).
+		wb := e.ownerDirty
+		e.sharers = (uint64(1) << uint(e.owner)) | bit
+		e.owner = -1
+		e.ownerDirty = false
+		d.Interventions++
+		return Result{Source: SrcRemote, NewState: Shared, WritebackBelow: wb}
+	}
+	if e.sharers != 0 {
+		e.sharers |= bit
+		return Result{Source: SrcBelow, NewState: Shared}
+	}
+	e.owner = core
+	return Result{Source: SrcBelow, NewState: Exclusive}
+}
+
+// Write implements Engine.
+func (d *Directory) Write(core int, lineAddr uint64) Result {
+	e := d.entry(lineAddr)
+	bit := uint64(1) << uint(core)
+	if e.owner == core {
+		e.ownerDirty = true
+		return Result{Source: SrcOwn, NewState: Modified}
+	}
+	if e.owner < 0 && e.sharers&bit != 0 {
+		// Upgrade: invalidate the other sharers point-to-point.
+		d.Upgrades++
+		res := Result{Source: SrcOwn, NewState: Modified}
+		others := e.sharers &^ bit
+		res.Invalidations = bits.OnesCount64(others)
+		d.InvalidationsTx += uint64(res.Invalidations)
+		e.sharers = 0
+		e.owner = core
+		e.ownerDirty = true
+		return res
+	}
+	// Write miss from Invalid.
+	d.WriteMisses++
+	res := Result{Source: SrcBelow, NewState: Modified}
+	if e.owner >= 0 {
+		res.Source = SrcRemote
+		res.Invalidations = 1
+		d.Interventions++
+		d.InvalidationsTx++
+	} else if e.sharers != 0 {
+		res.Invalidations = bits.OnesCount64(e.sharers)
+		d.InvalidationsTx += uint64(res.Invalidations)
+	}
+	e.sharers = 0
+	e.owner = core
+	e.ownerDirty = true
+	return res
+}
+
+// Evict implements Engine.
+func (d *Directory) Evict(core int, lineAddr uint64) (writeback bool) {
+	e, ok := d.lines[lineAddr]
+	if !ok {
+		return false
+	}
+	if e.owner == core {
+		writeback = e.ownerDirty
+		e.owner = -1
+		e.ownerDirty = false
+	} else {
+		e.sharers &^= uint64(1) << uint(core)
+	}
+	d.gc(lineAddr, e)
+	return writeback
+}
+
+// Holders implements Engine.
+func (d *Directory) Holders(lineAddr uint64) int {
+	e, ok := d.lines[lineAddr]
+	if !ok {
+		return 0
+	}
+	if e.owner >= 0 {
+		return 1
+	}
+	return bits.OnesCount64(e.sharers)
+}
+
+// CheckInvariants implements Engine: an owner never coexists with sharers,
+// and owner/sharer indices stay within the core count.
+func (d *Directory) CheckInvariants() string {
+	for addr, e := range d.lines {
+		if e.owner >= d.cores {
+			return fmt.Sprintf("line %#x: owner %d out of range", addr, e.owner)
+		}
+		if e.owner >= 0 && e.sharers != 0 {
+			return fmt.Sprintf("line %#x: owner %d coexists with sharers %#x", addr, e.owner, e.sharers)
+		}
+		if e.sharers>>uint(d.cores) != 0 {
+			return fmt.Sprintf("line %#x: sharer bitmap %#x exceeds %d cores", addr, e.sharers, d.cores)
+		}
+	}
+	return ""
+}
+
+// Stats implements Engine.
+func (d *Directory) Stats() Traffic {
+	return Traffic{
+		ReadMisses:    d.ReadMisses,
+		WriteMisses:   d.WriteMisses,
+		Upgrades:      d.Upgrades,
+		Interventions: d.Interventions,
+		Invalidations: d.InvalidationsTx,
+	}
+}
+
+// Reset drops all directory state and statistics.
+func (d *Directory) Reset() {
+	d.lines = make(map[uint64]*dirEntry)
+	d.ResetStats()
+}
+
+// ResetStats implements Engine.
+func (d *Directory) ResetStats() {
+	d.ReadMisses, d.WriteMisses, d.Upgrades = 0, 0, 0
+	d.Interventions, d.InvalidationsTx = 0, 0
+}
+
+var _ Engine = (*Directory)(nil)

@@ -1,0 +1,55 @@
+package coherence
+
+// Traffic aggregates the protocol-level event counters shared by all
+// coherence engines, for post-run reporting.
+type Traffic struct {
+	// ReadMisses and WriteMisses count protocol transactions started
+	// from the Invalid state.
+	ReadMisses  uint64
+	WriteMisses uint64
+	// Upgrades counts writes that held a readable copy and only needed
+	// remote invalidations.
+	Upgrades uint64
+	// Interventions counts cache-to-cache transfers.
+	Interventions uint64
+	// Invalidations counts remote copies invalidated.
+	Invalidations uint64
+}
+
+// Engine is a cache-coherence protocol as seen by the memory hierarchy:
+// the snooping MOESI/MESI protocol or the MESI directory. All bookkeeping
+// is per line; latency composition happens in package memhier.
+type Engine interface {
+	// Read performs the protocol action for core reading lineAddr.
+	Read(core int, lineAddr uint64) Result
+	// Write performs the protocol action for core writing lineAddr.
+	Write(core int, lineAddr uint64) Result
+	// Evict notifies the protocol that core's private cache dropped
+	// lineAddr; it reports whether the copy was dirty (writeback).
+	Evict(core int, lineAddr uint64) bool
+	// State returns core's state for lineAddr.
+	State(core int, lineAddr uint64) State
+	// Holders returns the number of cores holding lineAddr in any valid
+	// state.
+	Holders(lineAddr uint64) int
+	// CheckInvariants returns "" when the single-writer/multiple-reader
+	// discipline holds for every tracked line, else a description.
+	CheckInvariants() string
+	// Stats returns the accumulated traffic counters.
+	Stats() Traffic
+	// ResetStats clears the traffic counters without touching state.
+	ResetStats()
+}
+
+// Stats implements Engine for the snooping protocol.
+func (p *Protocol) Stats() Traffic {
+	return Traffic{
+		ReadMisses:    p.ReadMisses,
+		WriteMisses:   p.WriteMisses,
+		Upgrades:      p.Upgrades,
+		Interventions: p.Interventions,
+		Invalidations: p.InvalidationsTx,
+	}
+}
+
+var _ Engine = (*Protocol)(nil)

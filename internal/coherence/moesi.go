@@ -1,0 +1,299 @@
+// Package coherence implements a MOESI snooping cache-coherence protocol
+// over a shared bus, keeping the private L1 data caches of a multi-core
+// processor coherent (Table 1: "coherence protocol: MOESI").
+//
+// The protocol object is the bookkeeping half of the model: it tracks the
+// MOESI state of every line in every core and answers, for each read or
+// write, where the data comes from (own cache, a remote cache, or the level
+// below) and which remote copies must be invalidated or downgraded. The
+// memhier package converts those answers into latencies and keeps the
+// structural L1 models in sync.
+package coherence
+
+import "fmt"
+
+// State is the MOESI state of one line in one core's private cache.
+type State uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// Shared: read-only copy; other copies may exist; memory/L2 is
+	// up to date or an Owned copy exists elsewhere.
+	Shared
+	// Exclusive: the only copy, clean.
+	Exclusive
+	// Owned: dirty copy responsible for supplying data; other Shared
+	// copies may exist.
+	Owned
+	// Modified: the only copy, dirty.
+	Modified
+)
+
+// String returns the one-letter MOESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Source says where the data for an access comes from.
+type Source uint8
+
+const (
+	// SrcOwn: the line was already held in a sufficient state (hit).
+	SrcOwn Source = iota
+	// SrcRemote: supplied by another core's cache (cache-to-cache
+	// transfer; a coherence miss in the paper's classification).
+	SrcRemote
+	// SrcBelow: supplied by the shared L2 / main memory.
+	SrcBelow
+)
+
+// Result describes the protocol action for one access.
+type Result struct {
+	// Source of the data.
+	Source Source
+	// Invalidations is the number of remote copies invalidated.
+	Invalidations int
+	// WritebackBelow is true when a remote dirty copy had to push data
+	// toward the next level (timed by the caller).
+	WritebackBelow bool
+	// NewState is the requesting core's state after the access.
+	NewState State
+}
+
+// Protocol tracks MOESI (or MESI) state for every line held by any private
+// cache.
+type Protocol struct {
+	cores int
+	mesi  bool // four-state MESI: no Owned state, dirty sharing writes back
+	lines map[uint64][]State
+
+	// Statistics.
+	ReadMisses      uint64
+	WriteMisses     uint64
+	Upgrades        uint64
+	Interventions   uint64 // cache-to-cache transfers
+	InvalidationsTx uint64 // total remote copies invalidated
+}
+
+// New creates a MOESI protocol instance for the given core count.
+func New(cores int) *Protocol {
+	return &Protocol{cores: cores, lines: make(map[uint64][]State)}
+}
+
+// NewMESI creates a four-state MESI variant: there is no Owned state, so a
+// dirty line read by another core is written back below and both copies
+// become Shared. Comparing it against MOESI isolates the value of dirty
+// sharing (the O state) — an ablation on Table 1's protocol choice.
+func NewMESI(cores int) *Protocol {
+	return &Protocol{cores: cores, mesi: true, lines: make(map[uint64][]State)}
+}
+
+// Cores returns the number of cores the protocol was built for.
+func (p *Protocol) Cores() int { return p.cores }
+
+// State returns core's state for lineAddr.
+func (p *Protocol) State(core int, lineAddr uint64) State {
+	if v, ok := p.lines[lineAddr]; ok {
+		return v[core]
+	}
+	return Invalid
+}
+
+func (p *Protocol) vec(lineAddr uint64) []State {
+	v, ok := p.lines[lineAddr]
+	if !ok {
+		v = make([]State, p.cores)
+		p.lines[lineAddr] = v
+	}
+	return v
+}
+
+func (p *Protocol) gc(lineAddr uint64, v []State) {
+	for _, s := range v {
+		if s != Invalid {
+			return
+		}
+	}
+	delete(p.lines, lineAddr)
+}
+
+// Read performs the protocol action for core reading lineAddr.
+func (p *Protocol) Read(core int, lineAddr uint64) Result {
+	v := p.vec(lineAddr)
+	if v[core] != Invalid {
+		return Result{Source: SrcOwn, NewState: v[core]}
+	}
+	p.ReadMisses++
+	// Find a remote supplier: M and O (dirty) and E (clean) supply
+	// cache-to-cache; S copies mean the level below has the data.
+	remoteShared := false
+	for c, s := range v {
+		if c == core {
+			continue
+		}
+		switch s {
+		case Modified:
+			if p.mesi {
+				// MESI: write back below; both copies Shared.
+				v[c] = Shared
+				v[core] = Shared
+				p.Interventions++
+				return Result{Source: SrcRemote, NewState: Shared, WritebackBelow: true}
+			}
+			v[c] = Owned
+			v[core] = Shared
+			p.Interventions++
+			return Result{Source: SrcRemote, NewState: Shared}
+		case Owned:
+			v[core] = Shared
+			p.Interventions++
+			return Result{Source: SrcRemote, NewState: Shared}
+		case Exclusive:
+			v[c] = Shared
+			v[core] = Shared
+			p.Interventions++
+			return Result{Source: SrcRemote, NewState: Shared}
+		case Shared:
+			remoteShared = true
+		}
+	}
+	if remoteShared {
+		v[core] = Shared
+		return Result{Source: SrcBelow, NewState: Shared}
+	}
+	v[core] = Exclusive
+	return Result{Source: SrcBelow, NewState: Exclusive}
+}
+
+// Write performs the protocol action for core writing lineAddr.
+func (p *Protocol) Write(core int, lineAddr uint64) Result {
+	v := p.vec(lineAddr)
+	switch v[core] {
+	case Modified:
+		return Result{Source: SrcOwn, NewState: Modified}
+	case Exclusive:
+		v[core] = Modified
+		return Result{Source: SrcOwn, NewState: Modified}
+	case Owned, Shared:
+		// Upgrade: invalidate all remote copies; no data transfer.
+		p.Upgrades++
+		res := Result{Source: SrcOwn, NewState: Modified}
+		for c, s := range v {
+			if c == core || s == Invalid {
+				continue
+			}
+			v[c] = Invalid
+			res.Invalidations++
+			p.InvalidationsTx++
+		}
+		v[core] = Modified
+		return res
+	}
+	// Write miss from Invalid: fetch with intent to modify.
+	p.WriteMisses++
+	res := Result{Source: SrcBelow, NewState: Modified}
+	for c, s := range v {
+		if c == core || s == Invalid {
+			continue
+		}
+		if s == Modified || s == Owned {
+			res.Source = SrcRemote
+			p.Interventions++
+		} else if res.Source != SrcRemote && s == Exclusive {
+			res.Source = SrcRemote
+			p.Interventions++
+		}
+		v[c] = Invalid
+		res.Invalidations++
+		p.InvalidationsTx++
+	}
+	v[core] = Modified
+	return res
+}
+
+// Evict notifies the protocol that core's private cache dropped lineAddr
+// (capacity or conflict eviction). It returns whether the evicted copy was
+// dirty and must be written back below.
+func (p *Protocol) Evict(core int, lineAddr uint64) (writeback bool) {
+	v, ok := p.lines[lineAddr]
+	if !ok {
+		return false
+	}
+	s := v[core]
+	v[core] = Invalid
+	p.gc(lineAddr, v)
+	return s == Modified || s == Owned
+}
+
+// Holders returns the number of cores holding lineAddr in any valid state.
+func (p *Protocol) Holders(lineAddr uint64) int {
+	n := 0
+	for _, s := range p.lines[lineAddr] {
+		if s != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants validates the MOESI single-writer/multiple-reader
+// discipline for every tracked line, returning a descriptive error-like
+// string ("" when consistent). Used by property tests.
+func (p *Protocol) CheckInvariants() string {
+	for addr, v := range p.lines {
+		var m, o, e, s int
+		for _, st := range v {
+			switch st {
+			case Modified:
+				m++
+			case Owned:
+				o++
+			case Exclusive:
+				e++
+			case Shared:
+				s++
+			}
+		}
+		switch {
+		case m > 1:
+			return fmt.Sprintf("line %#x: %d Modified copies", addr, m)
+		case o > 1:
+			return fmt.Sprintf("line %#x: %d Owned copies", addr, o)
+		case e > 1:
+			return fmt.Sprintf("line %#x: %d Exclusive copies", addr, e)
+		case m == 1 && (o+e+s) > 0:
+			return fmt.Sprintf("line %#x: Modified coexists with other copies", addr)
+		case e == 1 && (m+o+s) > 0:
+			return fmt.Sprintf("line %#x: Exclusive coexists with other copies", addr)
+		}
+	}
+	return ""
+}
+
+// Reset drops all protocol state and statistics.
+func (p *Protocol) Reset() {
+	p.lines = make(map[uint64][]State)
+	p.ReadMisses, p.WriteMisses, p.Upgrades = 0, 0, 0
+	p.Interventions, p.InvalidationsTx = 0, 0
+}
+
+// ResetStats clears the statistics counters without touching line state,
+// for functional-warmup runs.
+func (p *Protocol) ResetStats() {
+	p.ReadMisses, p.WriteMisses, p.Upgrades = 0, 0, 0
+	p.Interventions, p.InvalidationsTx = 0, 0
+}

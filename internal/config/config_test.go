@@ -1,0 +1,84 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	m := Default(4)
+	if m.Cores != 4 {
+		t.Fatalf("cores = %d", m.Cores)
+	}
+	c := m.Core
+	if c.ROBSize != 256 || c.IssueQueueSize != 128 || c.LSQSize != 128 || c.StoreBufferSize != 64 {
+		t.Error("window structures deviate from Table 1")
+	}
+	if c.DecodeWidth != 4 || c.IssueWidth != 6 || c.FetchWidth != 8 {
+		t.Error("widths deviate from Table 1")
+	}
+	if c.IntALUs != 4 || c.LoadStoreFUs != 4 || c.FPUnits != 4 {
+		t.Error("functional units deviate from Table 1")
+	}
+	if c.FetchQueue != 16 || c.FrontendDepth != 7 {
+		t.Error("front end deviates from Table 1")
+	}
+	if c.LatLoad != 2 || c.LatMul != 3 || c.LatFP != 4 || c.LatDiv != 20 {
+		t.Error("latencies deviate from Table 1")
+	}
+	b := m.Branch
+	if b.LocalHistoryEntries*b.LocalHistoryBits != 12*1024 {
+		t.Errorf("local predictor %d bits, want 12Kbit",
+			b.LocalHistoryEntries*b.LocalHistoryBits)
+	}
+	if b.BTBEntries != 2048 || b.BTBAssoc != 8 || b.RASEntries != 32 {
+		t.Error("BTB/RAS deviate from Table 1")
+	}
+	mem := m.Mem
+	if mem.L1I.SizeBytes != 32<<10 || mem.L1I.Assoc != 4 || mem.L1I.LineSize != 64 {
+		t.Error("L1I deviates from Table 1")
+	}
+	if mem.L2.SizeBytes != 4<<20 || mem.L2.Assoc != 8 || mem.L2.Latency != 12 {
+		t.Error("L2 deviates from Table 1")
+	}
+	if mem.DRAMLatency != 150 || mem.BusBytes != 16 {
+		t.Error("memory deviates from Table 1")
+	}
+	if !mem.HasL2 {
+		t.Error("baseline must have an L2")
+	}
+}
+
+func TestStacked3D(t *testing.T) {
+	m := Stacked3D(4)
+	if m.Mem.HasL2 {
+		t.Error("3D config has an L2")
+	}
+	if m.Mem.DRAMLatency != 125 || m.Mem.BusBytes != 128 {
+		t.Error("3D DRAM parameters wrong")
+	}
+	if m.Cores != 4 {
+		t.Error("core count not propagated")
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := Cache{SizeBytes: 32 << 10, Assoc: 4, LineSize: 64}
+	if c.Sets() != 128 {
+		t.Fatalf("sets = %d, want 128", c.Sets())
+	}
+}
+
+func TestExecLatency(t *testing.T) {
+	c := Default(1).Core
+	cases := map[isa.Class]int{
+		isa.IntALU: 1, isa.IntMul: 3, isa.IntDiv: 20, isa.FPOp: 4,
+		isa.Load: 2, isa.Store: 1, isa.Branch: 1, isa.Serializing: 1,
+	}
+	for class, want := range cases {
+		if got := c.ExecLatency(class); got != want {
+			t.Errorf("ExecLatency(%v) = %d, want %d", class, got, want)
+		}
+	}
+}

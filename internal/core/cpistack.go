@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CPIStack decomposes a core's execution time into cycles-per-instruction
+// components. This decomposition falls out of interval simulation for free
+// — every miss event charges an explicit, attributable penalty — and is one
+// of the paradigm's main practical attractions: a detailed simulator must
+// approximate stall attribution after the fact, while the analytical model
+// produces it exactly.
+type CPIStack struct {
+	Retired uint64
+	// Cycle totals per component; they sum to the core's total time.
+	Base      int64 // dispatch-rate-limited streaming (includes L1/L2 load latencies folded into the dataflow)
+	ICache    int64 // I-cache and I-TLB miss penalties
+	Branch    int64 // branch misprediction penalties (resolution + front-end refill)
+	LongLoad  int64 // long-latency load penalties (last-level, coherence, D-TLB)
+	Serialize int64 // pipeline drains for serializing instructions
+	Sync      int64 // synchronization: barrier/lock waiting and transfer
+}
+
+// Total returns the summed cycles.
+func (s CPIStack) Total() int64 {
+	return s.Base + s.ICache + s.Branch + s.LongLoad + s.Serialize + s.Sync
+}
+
+// CPI returns total cycles per retired instruction.
+func (s CPIStack) CPI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.Total()) / float64(s.Retired)
+}
+
+// Component returns the per-instruction contribution of one component.
+func (s CPIStack) component(c int64) float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(c) / float64(s.Retired)
+}
+
+// String renders the stack as an aligned table with per-component CPI and
+// percentage of execution time.
+func (s CPIStack) String() string {
+	var b strings.Builder
+	total := s.Total()
+	row := func(name string, cycles int64) {
+		pctv := 0.0
+		if total > 0 {
+			pctv = 100 * float64(cycles) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-10s %8.3f CPI  %5.1f%%\n", name, s.component(cycles), pctv)
+	}
+	fmt.Fprintf(&b, "CPI stack (total %.3f CPI over %d instructions):\n", s.CPI(), s.Retired)
+	row("base", s.Base)
+	row("icache", s.ICache)
+	row("branch", s.Branch)
+	row("longload", s.LongLoad)
+	row("serialize", s.Serialize)
+	row("sync", s.Sync)
+	return b.String()
+}
+
+// Stack returns the core's CPI stack so far. The base component is the
+// residual: total simulated time minus all attributed penalties.
+func (c *Core) Stack() CPIStack {
+	s := c.stack
+	s.Retired = c.retired
+	s.Base = c.coreTime - s.ICache - s.Branch - s.LongLoad - s.Serialize - s.Sync
+	if s.Base < 0 {
+		s.Base = 0
+	}
+	return s
+}

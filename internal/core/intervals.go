@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// intervalBuckets is the number of log2 buckets in the interval-length
+// histogram: bucket b counts intervals of length in [2^(b-1), 2^b), with
+// bucket 0 for zero-length intervals (back-to-back events) and the last
+// bucket open-ended.
+const intervalBuckets = 18
+
+// IntervalStats summarizes the lengths of the intervals — the instruction
+// runs between consecutive miss events — that the model observed. The
+// interval-length distribution is the model's eponymous structure
+// (Figure 1): long intervals mean smooth streaming at the dispatch rate;
+// short ones mean the penalties dominate and interact (the interval-length
+// effect on branch resolution and drain times).
+type IntervalStats struct {
+	// Hist counts intervals per log2 length bucket.
+	Hist [intervalBuckets]uint64
+	// Events is the total number of miss events (= number of intervals).
+	Events uint64
+	// Insts is the total instructions covered.
+	Insts uint64
+}
+
+// Mean returns the mean interval length in instructions.
+func (s IntervalStats) Mean() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Events)
+}
+
+// String renders the histogram, one row per occupied bucket.
+func (s IntervalStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "interval lengths (%d intervals, mean %.1f instructions):\n",
+		s.Events, s.Mean())
+	for i, n := range s.Hist {
+		if n == 0 {
+			continue
+		}
+		var label string
+		switch i {
+		case 0:
+			label = "0"
+		case 1:
+			label = "1"
+		default:
+			label = fmt.Sprintf("%d-%d", 1<<(i-1), 1<<i-1)
+		}
+		if i == intervalBuckets-1 {
+			label = fmt.Sprintf("%d+", 1<<(i-1))
+		}
+		pct := 100 * float64(n) / float64(s.Events)
+		fmt.Fprintf(&b, "  %-12s %8d  %5.1f%%\n", label, n, pct)
+	}
+	return b.String()
+}
+
+// noteInterval records the end of an interval of n instructions.
+func (c *Core) noteInterval(n uint64) {
+	b := bits.Len64(n)
+	if b >= intervalBuckets {
+		b = intervalBuckets - 1
+	}
+	c.intervals.Hist[b]++
+	c.intervals.Events++
+	c.intervals.Insts += n
+}
+
+// Intervals returns the interval-length statistics so far.
+func (c *Core) Intervals() IntervalStats { return c.intervals }

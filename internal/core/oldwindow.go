@@ -1,0 +1,251 @@
+// Package core implements interval simulation, the paper's primary
+// contribution: a mechanistic analytical core model that replaces
+// cycle-accurate out-of-order core simulation inside a multi-core
+// simulator.
+//
+// Execution is modeled as the smooth streaming of instructions through the
+// pipeline at an effective dispatch rate, punctuated by miss events —
+// I-cache/I-TLB misses, branch mispredictions, long-latency loads
+// (last-level or coherence misses and D-TLB misses) and serializing
+// instructions — that each charge an analytically derived penalty
+// (Section 2 of the paper). Miss events come from the same branch predictor
+// and memory hierarchy simulators that drive the detailed baseline; only
+// the core-level timing model is replaced.
+//
+// Two structures implement the model (Figure 2): a *window* of in-flight
+// instructions, sized like the ROB, used to find miss events hidden
+// underneath long-latency loads (second-order overlap effects); and an
+// *old window* of recently retired instructions whose dataflow gives the
+// critical path length, from which the branch resolution time, the window
+// drain time and the effective dispatch rate are derived (the paper's "old
+// window approach").
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// OldWindow tracks the dataflow of the most recently dispatched
+// instructions. Each inserted instruction records a completion time equal
+// to the maximum completion time of its producers plus its own execution
+// latency. The window maintains a head time (completion of the oldest
+// evicted instruction) and a tail time (latest completion); their
+// difference approximates the critical path length through the window
+// without walking it (Section 3.2).
+// The window maintains two dataflow tracks. The *pure* track computes
+// issue = max(producer completions) + latency and feeds the critical-path
+// estimate behind the effective dispatch rate (Little's law needs the
+// resource-unconstrained dataflow height). The *floored* track additionally
+// lower-bounds each issue time by the instruction's dispatch time, so a
+// producer dispatched long before its consumer is modeled as already
+// executed — this is what makes the branch resolution time mean "time
+// between the mispredicted branch dispatching and resolving", as the paper
+// defines it, rather than the full dataflow depth since the last miss
+// event.
+type OldWindow struct {
+	cfg      config.Core
+	issues   []int64 // ring buffer of issue times (pure track)
+	head     int
+	n        int
+	headTime int64
+	tailTime int64
+	regReady [isa.NumRegs]int64
+
+	// Floored track.
+	floorReady [isa.NumRegs]int64
+	tailFloor  int64
+}
+
+// NewOldWindow creates an old window with the ROB's capacity.
+func NewOldWindow(cfg config.Core) *OldWindow {
+	return &OldWindow{
+		cfg:    cfg,
+		issues: make([]int64, cfg.ROBSize),
+	}
+}
+
+// Len returns the number of instructions currently tracked.
+func (w *OldWindow) Len() int { return w.n }
+
+// Insert records the retirement of in. loadLatency is the observed
+// execution latency for loads (L1-hit latency plus any non-long-latency
+// miss component, per the paper: "execution latency including the L1
+// D-cache miss latency"); it is ignored for other classes. dispTime is the
+// instruction's dispatch time relative to the last window flush.
+func (w *OldWindow) Insert(in *isa.Inst, loadLatency, dispTime int64) {
+	lat := int64(w.cfg.ExecLatency(in.Class))
+	if in.Class == isa.Load && loadLatency > 0 {
+		lat = loadLatency
+	}
+
+	// Pure dataflow track.
+	issue := int64(0)
+	if in.Src1 != isa.RegNone && w.regReady[in.Src1] > issue {
+		issue = w.regReady[in.Src1]
+	}
+	if in.Src2 != isa.RegNone && w.regReady[in.Src2] > issue {
+		issue = w.regReady[in.Src2]
+	}
+	complete := issue + lat
+
+	// Floored track: an instruction cannot issue before it dispatches.
+	fIssue := dispTime
+	if in.Src1 != isa.RegNone && w.floorReady[in.Src1] > fIssue {
+		fIssue = w.floorReady[in.Src1]
+	}
+	if in.Src2 != isa.RegNone && w.floorReady[in.Src2] > fIssue {
+		fIssue = w.floorReady[in.Src2]
+	}
+	fComplete := fIssue + lat
+
+	if in.HasDst() {
+		w.regReady[in.Dst] = complete
+		w.floorReady[in.Dst] = fComplete
+	}
+	// Head and tail times track ISSUE times (Section 3.2): "the new tail
+	// time is computed as the maximum of the previous tail time and the
+	// issue time of the newly inserted instruction; similarly, the new
+	// head time is the maximum of the previous head time and the issue
+	// time of the removed instruction."
+	if issue > w.tailTime {
+		w.tailTime = issue
+	}
+	if fComplete > w.tailFloor {
+		w.tailFloor = fComplete
+	}
+	if w.n == len(w.issues) {
+		old := w.issues[w.head]
+		if old > w.headTime {
+			w.headTime = old
+		}
+		w.head = (w.head + 1) % len(w.issues)
+		w.n--
+	}
+	w.issues[(w.head+w.n)%len(w.issues)] = issue
+	w.n++
+}
+
+// CriticalPath approximates the critical path length in cycles through the
+// tracked instructions: tail time minus head time, at least one cycle.
+func (w *OldWindow) CriticalPath() int64 {
+	cp := w.tailTime - w.headTime
+	if cp < 1 {
+		return 1
+	}
+	return cp
+}
+
+// DispatchRate returns the effective dispatch rate in instructions per
+// cycle: by Little's law the maximum execution rate is the window size
+// divided by the critical path length, capped at the designed dispatch
+// width (Section 3.2).
+func (w *OldWindow) DispatchRate() float64 {
+	width := float64(w.cfg.DecodeWidth)
+	if w.n == 0 {
+		return width
+	}
+	rate := float64(len(w.issues)) / float64(w.CriticalPath())
+	if rate > width {
+		return width
+	}
+	return rate
+}
+
+// BranchResolution returns the branch resolution time for a mispredicted
+// branch dispatching at dispTime (relative to the last window flush): the
+// remaining length of the dependence chain leading to the branch — the time
+// between the branch dispatching and being resolved.
+func (w *OldWindow) BranchResolution(br *isa.Inst, dispTime int64) int64 {
+	issue := dispTime
+	if br.Src1 != isa.RegNone && w.floorReady[br.Src1] > issue {
+		issue = w.floorReady[br.Src1]
+	}
+	if br.Src2 != isa.RegNone && w.floorReady[br.Src2] > issue {
+		issue = w.floorReady[br.Src2]
+	}
+	res := issue + int64(w.cfg.ExecLatency(br.Class)) - dispTime
+	if res < 1 {
+		return 1
+	}
+	return res
+}
+
+// BranchResolutionPure returns the branch resolution time computed on the
+// pure dataflow track: the full dependence-chain depth to the branch since
+// the last miss event, without the dispatch-time floor. This is the
+// NoDispatchFloor ablation — the estimate prior interval-analysis work
+// derives from an offline profile.
+func (w *OldWindow) BranchResolutionPure(br *isa.Inst) int64 {
+	issue := int64(0)
+	if br.Src1 != isa.RegNone && w.regReady[br.Src1] > issue {
+		issue = w.regReady[br.Src1]
+	}
+	if br.Src2 != isa.RegNone && w.regReady[br.Src2] > issue {
+		issue = w.regReady[br.Src2]
+	}
+	res := issue + int64(w.cfg.ExecLatency(br.Class)) - w.headTime
+	if res < 1 {
+		return 1
+	}
+	return res
+}
+
+// DrainTime returns the window drain time charged to a serializing
+// instruction dispatching at dispTime: the time for all in-flight work to
+// complete, at least the occupancy divided by the dispatch width.
+func (w *OldWindow) DrainTime(dispTime int64) int64 {
+	if w.n == 0 {
+		return 1
+	}
+	byWidth := int64((w.n + w.cfg.DecodeWidth - 1) / w.cfg.DecodeWidth)
+	rem := w.tailFloor - dispTime
+	if rem > byWidth {
+		return rem
+	}
+	return byWidth
+}
+
+// Shift re-bases the window's relative time by elapsed cycles: every
+// tracked issue/completion time moves elapsed cycles into the past
+// (clamping at zero = already executed). Called at miss events instead of
+// a full flush: the penalty's elapsed time ages the in-flight dataflow, so
+// chains fully covered by the penalty vanish (the paper's interval-length
+// effect on resolution and drain times) while genuinely longer chains —
+// loop-carried recurrences — survive the event, as they do in the machine.
+func (w *OldWindow) Shift(elapsed int64) {
+	if elapsed <= 0 {
+		return
+	}
+	sub := func(v int64) int64 {
+		if v <= elapsed {
+			return 0
+		}
+		return v - elapsed
+	}
+	for i := range w.regReady {
+		w.regReady[i] = sub(w.regReady[i])
+		w.floorReady[i] = sub(w.floorReady[i])
+	}
+	for k := 0; k < w.n; k++ {
+		idx := (w.head + k) % len(w.issues)
+		w.issues[idx] = sub(w.issues[idx])
+	}
+	w.headTime = sub(w.headTime)
+	w.tailTime = sub(w.tailTime)
+	w.tailFloor = sub(w.tailFloor)
+}
+
+// Empty flushes the window. The paper empties the old window on every miss
+// event so that the branch resolution time and drain time correlate with
+// the *interval length* — a short interval implies a short chain to the
+// next mispredicted branch (the "interval length effect").
+func (w *OldWindow) Empty() {
+	w.head, w.n = 0, 0
+	w.headTime, w.tailTime = 0, 0
+	w.tailFloor = 0
+	for i := range w.regReady {
+		w.regReady[i] = 0
+		w.floorReady[i] = 0
+	}
+}

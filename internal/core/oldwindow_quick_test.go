@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// randInst materializes a plausible instruction from fuzz bytes.
+func randInst(b [4]uint8) *isa.Inst {
+	classes := []isa.Class{isa.IntALU, isa.IntMul, isa.FPOp, isa.Load, isa.Branch}
+	in := &isa.Inst{
+		Class: classes[int(b[0])%len(classes)],
+		Src1:  isa.RegNone,
+		Src2:  isa.RegNone,
+		Dst:   isa.RegNone,
+	}
+	if b[1]%4 != 0 {
+		in.Src1 = 8 + b[1]%32
+	}
+	if b[2]%4 == 0 {
+		in.Src2 = 8 + b[2]%32
+	}
+	if in.Class != isa.Branch {
+		in.Dst = 8 + b[3]%32
+	}
+	return in
+}
+
+// Property: the critical-path estimate never decreases as instructions
+// are inserted (head time only grows on evictions, tail time is a max),
+// and is always at least one cycle.
+func TestOldWindowCriticalPathMonotonic(t *testing.T) {
+	f := func(seq [64][4]uint8) bool {
+		w := NewOldWindow(config.Default(1).Core)
+		prev := int64(0)
+		for i, b := range seq {
+			w.Insert(randInst(b), 0, int64(i/4))
+			cp := w.CriticalPath()
+			if cp < 1 {
+				return false
+			}
+			// Within capacity (no evictions yet), tail-head can only
+			// grow or stay.
+			if w.Len() < 256 && cp < prev {
+				return false
+			}
+			prev = cp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the effective dispatch rate is always in (0, width].
+func TestOldWindowDispatchRateBounded(t *testing.T) {
+	cfg := config.Default(1).Core
+	f := func(seq [128][4]uint8) bool {
+		w := NewOldWindow(cfg)
+		for i, b := range seq {
+			w.Insert(randInst(b), 0, int64(i/4))
+			r := w.DispatchRate()
+			if r <= 0 || r > float64(cfg.DecodeWidth) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Shift(a) then Shift(b) equals Shift(a+b) for the observable
+// quantities (drain time, dispatch rate, branch resolution).
+func TestOldWindowShiftComposes(t *testing.T) {
+	cfg := config.Default(1).Core
+	f := func(seq [48][4]uint8, aRaw, bRaw uint8) bool {
+		a, b := int64(aRaw%60), int64(bRaw%60)
+		mk := func() *OldWindow {
+			w := NewOldWindow(cfg)
+			for i, bb := range seq {
+				w.Insert(randInst(bb), 0, int64(i/4))
+			}
+			return w
+		}
+		two := mk()
+		two.Shift(a)
+		two.Shift(b)
+		one := mk()
+		one.Shift(a + b)
+		br := &isa.Inst{Class: isa.Branch, Src1: 10, Src2: isa.RegNone, Dst: isa.RegNone}
+		return two.DrainTime(0) == one.DrainTime(0) &&
+			two.DispatchRate() == one.DispatchRate() &&
+			two.BranchResolution(br, 0) == one.BranchResolution(br, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Shift(0) and Shift of a negative value are no-ops.
+func TestOldWindowShiftZeroNoop(t *testing.T) {
+	cfg := config.Default(1).Core
+	f := func(seq [32][4]uint8) bool {
+		w := NewOldWindow(cfg)
+		for i, b := range seq {
+			w.Insert(randInst(b), 0, int64(i/4))
+		}
+		before := w.CriticalPath()
+		w.Shift(0)
+		w.Shift(-5)
+		return w.CriticalPath() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after Empty, the window reports the no-history defaults
+// regardless of prior contents.
+func TestOldWindowEmptyResets(t *testing.T) {
+	cfg := config.Default(1).Core
+	f := func(seq [32][4]uint8) bool {
+		w := NewOldWindow(cfg)
+		for i, b := range seq {
+			w.Insert(randInst(b), 0, int64(i/4))
+		}
+		w.Empty()
+		br := &isa.Inst{Class: isa.Branch, Src1: 10, Src2: isa.RegNone, Dst: isa.RegNone}
+		return w.Len() == 0 &&
+			w.DispatchRate() == float64(cfg.DecodeWidth) &&
+			w.DrainTime(0) == 1 &&
+			w.BranchResolution(br, 0) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+func ow() *OldWindow {
+	return NewOldWindow(config.Default(1).Core)
+}
+
+func alu(src1, src2, dst uint8) *isa.Inst {
+	return &isa.Inst{Class: isa.IntALU, Src1: src1, Src2: src2, Dst: dst}
+}
+
+func TestEmptyWindowFullRate(t *testing.T) {
+	w := ow()
+	if got := w.DispatchRate(); got != 4 {
+		t.Fatalf("empty-window rate = %v, want width 4", got)
+	}
+}
+
+func TestIndependentInstructionsKeepFullRate(t *testing.T) {
+	w := ow()
+	for i := 0; i < 300; i++ {
+		w.Insert(alu(isa.RegNone, isa.RegNone, uint8(8+i%32)), 0, int64(i/4))
+	}
+	if got := w.DispatchRate(); got != 4 {
+		t.Fatalf("independent stream rate = %v, want 4", got)
+	}
+	if w.CriticalPath() != 1 {
+		t.Fatalf("critical path = %d, want 1 (all issue at 0)", w.CriticalPath())
+	}
+}
+
+func TestSerialChainLimitsRate(t *testing.T) {
+	w := ow()
+	// Every instruction reads the previous one's output: pure serial
+	// chain, latency 1 each. After the window fills, the rate must
+	// approach W/CP = 256/256 = ~1.
+	for i := 0; i < 600; i++ {
+		w.Insert(alu(10, isa.RegNone, 10), 0, int64(i/4))
+	}
+	rate := w.DispatchRate()
+	if rate < 0.9 || rate > 1.2 {
+		t.Fatalf("serial chain rate = %v, want ~1", rate)
+	}
+}
+
+func TestLoadLatencyLengthensChain(t *testing.T) {
+	wFast := ow()
+	wSlow := ow()
+	for i := 0; i < 600; i++ {
+		in := &isa.Inst{Class: isa.Load, Src1: 10, Src2: isa.RegNone, Dst: 10}
+		wFast.Insert(in, 2, int64(i/4))
+		wSlow.Insert(in, 18, int64(i/4)) // chained L2 hits
+	}
+	if wSlow.DispatchRate() >= wFast.DispatchRate() {
+		t.Fatalf("L2-hit chain rate %v not below L1-hit chain rate %v",
+			wSlow.DispatchRate(), wFast.DispatchRate())
+	}
+}
+
+func TestBranchResolutionShortForReadyOperands(t *testing.T) {
+	w := ow()
+	for i := 0; i < 100; i++ {
+		w.Insert(alu(isa.RegNone, isa.RegNone, uint8(8+i%8)), 0, int64(i/4))
+	}
+	br := &isa.Inst{Class: isa.Branch, Src1: 8, Src2: isa.RegNone}
+	// Operands long since computed: resolution is the branch's own
+	// execution latency.
+	if got := w.BranchResolution(br, 25); got != 1 {
+		t.Fatalf("resolution = %d, want 1", got)
+	}
+}
+
+func TestBranchResolutionTracksChain(t *testing.T) {
+	w := ow()
+	// Build a dependence chain ending just before the branch, dispatched
+	// all at once (dispatch time 0): the chain has not executed yet.
+	for i := 0; i < 20; i++ {
+		w.Insert(alu(10, isa.RegNone, 10), 0, 0)
+	}
+	br := &isa.Inst{Class: isa.Branch, Src1: 10, Src2: isa.RegNone}
+	got := w.BranchResolution(br, 0)
+	if got < 20 || got > 22 {
+		t.Fatalf("resolution = %d, want ~21 (20-deep chain + branch)", got)
+	}
+	// The same branch dispatching 30 cycles later: chain has executed.
+	if got := w.BranchResolution(br, 30); got != 1 {
+		t.Fatalf("late resolution = %d, want 1", got)
+	}
+}
+
+func TestDrainTime(t *testing.T) {
+	w := ow()
+	if got := w.DrainTime(0); got != 1 {
+		t.Fatalf("empty drain = %d, want 1", got)
+	}
+	// 40 independent instructions dispatched at once: drain bounded by
+	// width: ceil(40/4) = 10.
+	for i := 0; i < 40; i++ {
+		w.Insert(alu(isa.RegNone, isa.RegNone, uint8(8+i%8)), 0, 0)
+	}
+	if got := w.DrainTime(0); got != 10 {
+		t.Fatalf("width-bound drain = %d, want 10", got)
+	}
+	// A serial chain of 40: drain is the remaining chain length.
+	w2 := ow()
+	for i := 0; i < 40; i++ {
+		w2.Insert(alu(10, isa.RegNone, 10), 0, 0)
+	}
+	if got := w2.DrainTime(0); got != 40 {
+		t.Fatalf("chain-bound drain = %d, want 40", got)
+	}
+	// After the chain has had 35 cycles to execute, only 5 remain.
+	if got := w2.DrainTime(35); got != 10 {
+		t.Fatalf("partially executed drain = %d, want 10 (width bound)", got)
+	}
+}
+
+func TestEmptyResetsEverything(t *testing.T) {
+	w := ow()
+	for i := 0; i < 50; i++ {
+		w.Insert(alu(10, isa.RegNone, 10), 0, 0)
+	}
+	w.Empty()
+	if w.Len() != 0 || w.CriticalPath() != 1 || w.DispatchRate() != 4 {
+		t.Fatal("Empty left state behind")
+	}
+	br := &isa.Inst{Class: isa.Branch, Src1: 10, Src2: isa.RegNone}
+	if got := w.BranchResolution(br, 0); got != 1 {
+		t.Fatalf("resolution after Empty = %d, want 1 (interval-length effect)", got)
+	}
+}
+
+func TestEvictionBoundsLen(t *testing.T) {
+	w := ow()
+	for i := 0; i < 1000; i++ {
+		w.Insert(alu(isa.RegNone, isa.RegNone, 8), 0, int64(i/4))
+	}
+	if w.Len() != 256 {
+		t.Fatalf("len = %d, want ROB size 256", w.Len())
+	}
+}
+
+// Property: the critical path never decreases as dependent instructions are
+// inserted, and the rate never exceeds the dispatch width.
+func TestQuickRateBounded(t *testing.T) {
+	f := func(ops []uint16) bool {
+		w := ow()
+		lastCP := int64(0)
+		for i, op := range ops {
+			src := uint8(op&31) + 8
+			dst := uint8((op>>5)&31) + 8
+			w.Insert(alu(src, isa.RegNone, dst), 0, int64(i/4))
+			r := w.DispatchRate()
+			if r <= 0 || r > 4 {
+				return false
+			}
+			cp := w.CriticalPath()
+			if cp < 1 {
+				return false
+			}
+			_ = lastCP
+			lastCP = cp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: branch resolution is at least the branch latency and at most
+// the full dataflow height of the window.
+func TestQuickResolutionBounds(t *testing.T) {
+	f := func(chain uint8, disp uint8) bool {
+		w := ow()
+		n := int(chain%64) + 1
+		for i := 0; i < n; i++ {
+			w.Insert(alu(10, isa.RegNone, 10), 0, 0)
+		}
+		br := &isa.Inst{Class: isa.Branch, Src1: 10, Src2: isa.RegNone}
+		res := w.BranchResolution(br, int64(disp))
+		return res >= 1 && res <= int64(n)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

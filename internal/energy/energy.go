@@ -1,0 +1,143 @@
+// Package energy estimates the energy of a simulated run from event
+// counts — a coarse event-energy model in the spirit of the early-design
+// tools interval simulation is meant to pair with. The paper's Figure 8
+// case study (big-L2 dual-core versus 3D-stacked quad-core) is ultimately
+// an energy-delay question: more cores finish sooner but burn more static
+// power, a bigger cache costs leakage but saves DRAM traffic. This package
+// turns the simulator's event counts into exactly that trade-off.
+//
+// The per-event energies are catalog-style constants (order-of-magnitude
+// 45nm values), not a calibrated power model; what matters for design
+// studies is that configurations are compared under one consistent
+// accounting.
+package energy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/multicore"
+)
+
+// Params holds the per-event energies (picojoules) and static power
+// (picojoules per core-cycle).
+type Params struct {
+	// PerInstruction covers fetch/decode/rename/issue/commit of one
+	// retired instruction.
+	PerInstruction float64
+	// PerL1Access is one L1 (I or D) access.
+	PerL1Access float64
+	// PerL2Access is one shared-L2 access.
+	PerL2Access float64
+	// PerDRAMAccess is one main-memory line fetch.
+	PerDRAMAccess float64
+	// PerFabricTx is one interconnect transaction.
+	PerFabricTx float64
+	// StaticPerCoreCycle is leakage + clock per core per cycle.
+	StaticPerCoreCycle float64
+	// StaticL2PerCycleMB is L2 leakage per cycle per megabyte.
+	StaticL2PerCycleMB float64
+}
+
+// Default returns catalog-style 45nm-ish parameters.
+func Default() Params {
+	return Params{
+		PerInstruction:     20,
+		PerL1Access:        10,
+		PerL2Access:        50,
+		PerDRAMAccess:      2000,
+		PerFabricTx:        15,
+		StaticPerCoreCycle: 40,
+		StaticL2PerCycleMB: 5,
+	}
+}
+
+// Report decomposes a run's estimated energy (picojoules).
+type Report struct {
+	Core   float64 // dynamic pipeline energy
+	L1     float64
+	L2     float64
+	DRAM   float64
+	Fabric float64
+	Static float64
+
+	// Cycles and Instructions echo the run for derived metrics.
+	Cycles       int64
+	Instructions uint64
+}
+
+// Total returns the summed energy in picojoules.
+func (r Report) Total() float64 {
+	return r.Core + r.L1 + r.L2 + r.DRAM + r.Fabric + r.Static
+}
+
+// EPI returns energy per instruction (picojoules).
+func (r Report) EPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return r.Total() / float64(r.Instructions)
+}
+
+// EDP returns the energy-delay product (picojoule-cycles); lower is
+// better. It is the standard single-number figure of merit for
+// performance/energy trade-offs like Figure 8's.
+func (r Report) EDP() float64 {
+	return r.Total() * float64(r.Cycles)
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	total := r.Total()
+	fmt.Fprintf(&b, "energy %.2f uJ over %d cycles, %d instructions (%.1f pJ/inst):\n",
+		total/1e6, r.Cycles, r.Instructions, r.EPI())
+	row := func(name string, v float64) {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * v / total
+		}
+		fmt.Fprintf(&b, "  %-8s %10.2f uJ  %5.1f%%\n", name, v/1e6, pct)
+	}
+	row("core", r.Core)
+	row("L1", r.L1)
+	row("L2", r.L2)
+	row("DRAM", r.DRAM)
+	row("fabric", r.Fabric)
+	row("static", r.Static)
+	return b.String()
+}
+
+// Estimate computes the energy report for a finished run. The run must
+// have been made with RunConfig.KeepCores so the memory hierarchy's event
+// counts are available; Estimate panics otherwise (programmer error).
+func Estimate(res multicore.Result, p Params) Report {
+	if res.Mem == nil {
+		panic("energy: run was made without RunConfig.KeepCores")
+	}
+	h := res.Mem
+	var r Report
+	r.Cycles = res.Cycles
+	r.Instructions = res.TotalRetired
+
+	r.Core = p.PerInstruction * float64(res.TotalRetired)
+
+	var l1 uint64
+	for i := range res.Cores {
+		l1 += h.L1I(i).Hits + h.L1I(i).Misses + h.L1D(i).Hits + h.L1D(i).Misses
+	}
+	r.L1 = p.PerL1Access * float64(l1)
+
+	l2MB := 0.0
+	if l2 := h.L2(); l2 != nil {
+		r.L2 = p.PerL2Access * float64(l2.Hits+l2.Misses)
+		l2MB = float64(l2.Config().SizeBytes) / float64(1<<20)
+	}
+
+	r.DRAM = p.PerDRAMAccess * float64(h.DRAM().Stats().Requests)
+	r.Fabric = p.PerFabricTx * float64(h.Fabric().TxCount())
+
+	perCycle := p.StaticPerCoreCycle*float64(len(res.Cores)) + p.StaticL2PerCycleMB*l2MB
+	r.Static = perCycle * float64(res.Cycles)
+	return r
+}

@@ -1,0 +1,98 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// run executes a small kept-cores run for energy accounting.
+func run(t *testing.T, name string, m config.Machine) multicore.Result {
+	t.Helper()
+	streams := make([]trace.Stream, m.Cores)
+	warms := make([]trace.Stream, m.Cores)
+	p := workload.SPECByName(name)
+	for i := range streams {
+		streams[i] = trace.NewLimit(workload.New(p, 0, 1, int64(42+i)), 5_000)
+		warms[i] = workload.New(p, 0, 1, int64(1042+i))
+	}
+	res := multicore.Run(multicore.RunConfig{
+		Machine:     m,
+		Model:       multicore.Interval,
+		WarmupInsts: 50_000,
+		Warmup:      warms,
+		KeepCores:   true,
+	}, streams)
+	if res.TimedOut {
+		t.Fatal("run timed out")
+	}
+	return res
+}
+
+func TestEstimatePanicsWithoutKeptCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Estimate accepted a run without KeepCores")
+		}
+	}()
+	Estimate(multicore.Result{}, Default())
+}
+
+func TestEnergyComponentsPositive(t *testing.T) {
+	res := run(t, "gcc", config.Default(1))
+	r := Estimate(res, Default())
+	if r.Core <= 0 || r.L1 <= 0 || r.L2 <= 0 || r.Static <= 0 {
+		t.Fatalf("non-positive components: %+v", r)
+	}
+	if r.Total() <= 0 || r.EPI() <= 0 || r.EDP() <= 0 {
+		t.Fatalf("bad aggregates: total=%v epi=%v edp=%v", r.Total(), r.EPI(), r.EDP())
+	}
+	sum := r.Core + r.L1 + r.L2 + r.DRAM + r.Fabric + r.Static
+	if sum != r.Total() {
+		t.Fatalf("components do not sum: %v vs %v", sum, r.Total())
+	}
+}
+
+func TestMemoryBoundHasHigherDRAMShare(t *testing.T) {
+	p := Default()
+	gcc := Estimate(run(t, "gcc", config.Default(1)), p)
+	mcf := Estimate(run(t, "mcf", config.Default(1)), p)
+	gccShare := gcc.DRAM / gcc.Total()
+	mcfShare := mcf.DRAM / mcf.Total()
+	if mcfShare <= gccShare {
+		t.Fatalf("mcf DRAM share %.3f <= gcc %.3f", mcfShare, gccShare)
+	}
+}
+
+func TestMoreCoresMoreStaticPerCycle(t *testing.T) {
+	p := Default()
+	one := Estimate(run(t, "gcc", config.Default(1)), p)
+	four := Estimate(run(t, "gcc", config.Default(4)), p)
+	perCycle1 := one.Static / float64(one.Cycles)
+	perCycle4 := four.Static / float64(four.Cycles)
+	if perCycle4 <= perCycle1 {
+		t.Fatalf("static per cycle did not grow with cores: %v vs %v", perCycle1, perCycle4)
+	}
+}
+
+func TestNoL2MachineHasNoL2Energy(t *testing.T) {
+	m := config.Stacked3D(2)
+	r := Estimate(run(t, "gcc", m), Default())
+	if r.L2 != 0 {
+		t.Fatalf("L2 energy %v on an L2-less machine", r.L2)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Estimate(run(t, "gcc", config.Default(1)), Default())
+	out := r.String()
+	for _, want := range []string{"energy", "core", "DRAM", "static", "pJ/inst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): the step-by-step single-threaded accuracy
+// experiments (Figure 4), full single-threaded accuracy (Figure 5),
+// multi-program STP/ANTT (Figure 6), multi-threaded PARSEC scaling
+// (Figure 7), the 3D-stacking design-trade-off case study (Figure 8), and
+// the simulation-speed comparisons (Figures 9 and 10), plus a one-IPC
+// ablation. Each experiment returns a Table whose rows mirror the series
+// the paper plots; cmd/experiments prints them and bench_test.go wraps them
+// as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/memhier"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Opts sizes the experiments. The paper simulates 100M-instruction
+// SimPoints; the synthetic substrate reaches steady state much sooner, so
+// the defaults are far smaller while preserving every qualitative result.
+type Opts struct {
+	// Insts is the per-thread instruction budget for SPEC-style runs.
+	Insts int
+	// Warmup is the functional warmup length per core.
+	Warmup int
+	// WorkScale scales PARSEC profiles' TotalWork (1.0 = profile value).
+	WorkScale float64
+	// Seed selects the deterministic workload instance.
+	Seed int64
+}
+
+// Defaults returns the standard experiment sizing.
+func Defaults() Opts {
+	return Opts{Insts: 50_000, Warmup: 600_000, WorkScale: 1, Seed: 42}
+}
+
+// Quick returns a reduced sizing for smoke runs.
+func Quick() Opts {
+	return Opts{Insts: 15_000, Warmup: 150_000, WorkScale: 0.25, Seed: 42}
+}
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID      string   // e.g. "fig5"
+	Title   string   // the paper artifact it reproduces
+	Columns []string // column headers
+	Rows    [][]string
+	// Notes summarizes the expected shape and the measured aggregate
+	// (average/max error, speedup range) for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = pad(c, widths[i])
+	}
+	b.WriteString(strings.Join(header, "  "))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			cells[i] = pad(c, w)
+		}
+		b.WriteString(strings.Join(cells, "  "))
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "-- %s\n", n)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// runSpec runs one SPEC profile alone on a machine with the given perfect
+// switches and predictor kind.
+func (o Opts) runSpec(p *workload.Profile, model multicore.Model, cores int,
+	perfect memhier.Perfect, predictor string) multicore.Result {
+	m := config.Default(cores)
+	if predictor != "" {
+		m.Branch.Kind = predictor
+	}
+	streams := make([]trace.Stream, cores)
+	warm := make([]trace.Stream, cores)
+	for i := 0; i < cores; i++ {
+		streams[i] = trace.NewLimit(workload.New(p, i, cores, o.Seed), o.Insts)
+		warm[i] = workload.New(p, i, cores, o.Seed+1000)
+	}
+	return multicore.Run(multicore.RunConfig{
+		Machine:     m,
+		Model:       model,
+		Perfect:     perfect,
+		WarmupInsts: o.Warmup,
+		Warmup:      warm,
+		MaxCycles:   500_000_000,
+	}, streams)
+}
+
+// runParsec runs one PARSEC profile with one thread per core on machine m.
+func (o Opts) runParsec(p *workload.Profile, model multicore.Model, m config.Machine) multicore.Result {
+	q := *p
+	if o.WorkScale > 0 && o.WorkScale != 1 {
+		q.TotalWork = uint64(float64(q.TotalWork) * o.WorkScale)
+	}
+	streams := make([]trace.Stream, m.Cores)
+	warm := make([]trace.Stream, m.Cores)
+	for i := 0; i < m.Cores; i++ {
+		streams[i] = workload.New(&q, i, m.Cores, o.Seed)
+		warm[i] = workload.New(&q, i, m.Cores, o.Seed+1000)
+	}
+	return multicore.Run(multicore.RunConfig{
+		Machine:     m,
+		Model:       model,
+		WarmupInsts: o.Warmup,
+		Warmup:      warm,
+		MaxCycles:   500_000_000,
+	}, streams)
+}
+
+// f3 formats a float at 3 decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f2 formats a float at 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

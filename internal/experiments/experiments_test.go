@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// tiny returns a sizing small enough for unit tests.
+func tiny() Opts {
+	return Opts{Insts: 4_000, Warmup: 20_000, WorkScale: 0.05, Seed: 42}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := Table{
+		ID:      "figX",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"x", "1"}, {"longer", "2"}},
+		Notes:   []string{"note"},
+	}
+	out := tb.Format()
+	for _, want := range []string{"figX", "demo", "longer", "-- note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4PanelsProduceAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := tiny().Fig4("4a")
+	if len(tb.Rows) != len(workload.SPEC()) {
+		t.Fatalf("fig4a rows = %d, want %d", len(tb.Rows), len(workload.SPEC()))
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", r, len(r), len(tb.Columns))
+		}
+	}
+}
+
+func TestFig4UnknownPanelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown panel did not panic")
+		}
+	}()
+	tiny().Fig4("4z")
+}
+
+func TestFig6Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := tiny()
+	tb := o.Fig6()
+	// 5 workloads x 4 copy counts.
+	if len(tb.Rows) != 20 {
+		t.Fatalf("fig6 rows = %d, want 20", len(tb.Rows))
+	}
+	// Single-copy rows have STP == 1 by construction.
+	for _, r := range tb.Rows {
+		if r[1] == "1" && r[2] != "1.00" {
+			t.Errorf("single-copy STP(det) = %s, want 1.00", r[2])
+		}
+	}
+}
+
+func TestFig7And8Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := tiny()
+	f7 := o.Fig7()
+	if len(f7.Rows) != len(workload.PARSEC())*4 {
+		t.Fatalf("fig7 rows = %d", len(f7.Rows))
+	}
+	f8 := o.Fig8()
+	if len(f8.Rows) != len(workload.PARSEC())*2 {
+		t.Fatalf("fig8 rows = %d", len(f8.Rows))
+	}
+	// Every benchmark's winner columns must agree or disagree explicitly,
+	// never be empty on the first row.
+	for i := 0; i < len(f8.Rows); i += 2 {
+		if f8.Rows[i][4] == "" || f8.Rows[i][5] == "" {
+			t.Errorf("fig8 row %d missing winners: %v", i, f8.Rows[i])
+		}
+	}
+}
+
+func TestSpeedupFiguresPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := tiny()
+	tb := o.Fig9()
+	if len(tb.Rows) != len(workload.SPEC()) {
+		t.Fatalf("fig9 rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		for _, cell := range r[1:] {
+			if strings.HasPrefix(cell, "-") || cell == "0.00" {
+				t.Errorf("non-positive speedup %q in row %v", cell, r)
+			}
+		}
+	}
+}
+
+func TestDefaultsAndQuickDiffer(t *testing.T) {
+	d, q := Defaults(), Quick()
+	if q.Insts >= d.Insts || q.Warmup >= d.Warmup {
+		t.Fatal("Quick sizing not smaller than Defaults")
+	}
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/memhier"
+	"repro/internal/multicore"
+	"repro/internal/sampling"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Extension experiments: artifacts beyond the paper's evaluation that the
+// reproduction makes possible — scaling past the paper's 8-core host
+// limit, the per-refinement model ablation of DESIGN.md §6, and the
+// system-level substrate sweeps (fabric, DRAM). cmd/experiments exposes
+// them alongside the paper figures.
+
+// ablationVariants lists the model-refinement ablations in DESIGN.md §6
+// order.
+var ablationVariants = []core.Options{
+	{},
+	{NoROBFillHiding: true},
+	{FlushOldWindow: true},
+	{NoOverlapScan: true},
+	{NoTaint: true},
+	{NoDispatchFloor: true},
+}
+
+// ablationProfiles is the mixed profile set the model ablation sweeps.
+var ablationProfiles = []string{"gcc", "mcf", "swim", "vpr"}
+
+// runSpecAblated runs one SPEC profile single-core under the interval
+// model with the given ablation options.
+func (o Opts) runSpecAblated(p *workload.Profile, opts core.Options) multicore.Result {
+	m := config.Default(1)
+	return multicore.Run(multicore.RunConfig{
+		Machine:     m,
+		Model:       multicore.Interval,
+		Ablation:    opts,
+		WarmupInsts: o.Warmup,
+		Warmup:      []trace.Stream{workload.New(p, 0, 1, o.Seed+1000)},
+		MaxCycles:   500_000_000,
+	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, o.Seed), o.Insts)})
+}
+
+// AblationModel regenerates the per-refinement accuracy table: for every
+// ablation variant, the IPC error against the detailed baseline per
+// profile and on average.
+func (o Opts) AblationModel() Table {
+	t := Table{
+		ID:      "model-ablation",
+		Title:   "per-refinement accuracy ablation (DESIGN.md §6): interval-vs-detailed IPC error",
+		Columns: append(append([]string{"variant"}, ablationProfiles...), "avg"),
+	}
+	detailed := make(map[string]float64, len(ablationProfiles))
+	for _, name := range ablationProfiles {
+		p := workload.SPECByName(name)
+		detailed[name] = o.runSpec(p, multicore.Detailed, 1, memhier.Perfect{}, "").Cores[0].IPC
+	}
+	var fullAvg float64
+	for _, v := range ablationVariants {
+		row := []string{v.Name()}
+		var sum float64
+		for _, name := range ablationProfiles {
+			p := workload.SPECByName(name)
+			ipc := o.runSpecAblated(p, v).Cores[0].IPC
+			e := math.Abs(ipc-detailed[name]) / detailed[name]
+			sum += e
+			row = append(row, pct(e))
+		}
+		avg := sum / float64(len(ablationProfiles))
+		if v == (core.Options{}) {
+			fullAvg = avg
+		}
+		row = append(row, pct(avg))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("full model %s average; every disabled refinement should not beat it materially", pct(fullAvg)),
+		"no-overlap (first-order model) degrades most: the paper's second-order-effects claim")
+	return t
+}
+
+// Scale16 extends the Figure 7 scaling experiment past the paper's 8-core
+// limit ("physical memory constraints limited us from running larger
+// configurations") to 16 and 32 cores, on both the snoop bus and a ring
+// NoC. Interval simulation's whole pitch is making exactly this kind of
+// larger-system study cheap.
+func (o Opts) Scale16() Table {
+	t := Table{
+		ID:      "scale16",
+		Title:   "beyond the paper: multi-threaded scaling to 16/32 cores, bus vs ring fabric",
+		Columns: []string{"bench", "fabric", "1", "2", "4", "8", "16", "32"},
+	}
+	counts := []int{1, 2, 4, 8, 16, 32}
+	for _, name := range []string{"blackscholes", "streamcluster"} {
+		p := workload.PARSECByName(name)
+		var base int64
+		for _, fabric := range []string{"bus", "ring"} {
+			row := []string{name, fabric}
+			for _, n := range counts {
+				m := config.Default(n)
+				m.Mem.Interconnect = fabric
+				res := o.runParsec(p, multicore.Interval, m)
+				if fabric == "bus" && n == 1 {
+					base = res.Cycles
+				}
+				row = append(row, f3(float64(res.Cycles)/float64(base)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"normalized execution time vs single-core bus run (smaller is better)",
+		"blackscholes (embarrassingly parallel) keeps scaling to 32 cores; streamcluster",
+		"plateaus at 8-16 from barrier synchronization — the fabric barely matters for",
+		"these compute-bound threads (see the 'fabric' table for a bandwidth-bound mix)")
+	return t
+}
+
+// Fabric regenerates the interconnect comparison: 8-core multi-program
+// cycles and fabric statistics for bus, mesh and ring.
+func (o Opts) Fabric() Table {
+	t := Table{
+		ID:      "fabric",
+		Title:   "on-chip fabric comparison: 8-core multi-program mix",
+		Columns: []string{"fabric", "cycles", "STP", "fabric-stall", "busy"},
+	}
+	mix := []string{"swim", "mcf", "gcc", "art"}
+	const cores = 8
+	for _, fabric := range []string{"bus", "mesh", "ring"} {
+		m := config.Default(cores)
+		m.Mem.Interconnect = fabric
+		streams := make([]trace.Stream, cores)
+		warms := make([]trace.Stream, cores)
+		for i := range streams {
+			p := workload.SPECByName(mix[i%len(mix)])
+			streams[i] = trace.NewLimit(workload.New(p, 0, 1, o.Seed+int64(i)), o.Insts)
+			warms[i] = workload.New(p, 0, 1, o.Seed+1000+int64(i))
+		}
+		res := multicore.Run(multicore.RunConfig{
+			Machine:     m,
+			Model:       multicore.Interval,
+			WarmupInsts: o.Warmup,
+			Warmup:      warms,
+			KeepCores:   true,
+		}, streams)
+		stp := 0.0
+		for _, c := range res.Cores {
+			stp += c.IPC
+		}
+		fab := res.Mem.Fabric()
+		t.Rows = append(t.Rows, []string{
+			fabric,
+			fmt.Sprintf("%d", res.Cycles),
+			f2(stp),
+			fmt.Sprintf("%d", fab.StallCycles()),
+			pct(fab.Utilization(res.Cycles)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the bus serializes every L1-miss transaction; the NoCs trade hop latency for parallel links")
+	return t
+}
+
+// DRAMStudy regenerates the main-memory comparison: fixed-latency versus
+// banked open-page DRAM per benchmark.
+func (o Opts) DRAMStudy() Table {
+	t := Table{
+		ID:      "dram",
+		Title:   "main memory: fixed-latency vs banked row-buffer DRAM (interval model)",
+		Columns: []string{"bench", "fixed IPC", "banked IPC", "gain"},
+	}
+	for _, name := range []string{"swim", "mgrid", "gcc", "mcf"} {
+		p := workload.SPECByName(name)
+		run := func(kind string) float64 {
+			m := config.Default(1)
+			m.Mem.DRAMKind = kind
+			res := multicore.Run(multicore.RunConfig{
+				Machine:     m,
+				Model:       multicore.Interval,
+				WarmupInsts: o.Warmup,
+				Warmup:      []trace.Stream{workload.New(p, 0, 1, o.Seed+1000)},
+			}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, o.Seed), o.Insts)})
+			return res.Cores[0].IPC
+		}
+		fixed := run("")
+		banked := run("banked")
+		t.Rows = append(t.Rows, []string{name, f3(fixed), f3(banked), f2(banked / fixed)})
+	}
+	t.Notes = append(t.Notes,
+		"streaming profiles ride the row buffer (gain > 1); pointer chases pay the conflict path (gain < 1)")
+	return t
+}
+
+// Predictors regenerates the branch-predictor comparison: misprediction
+// rate and interval-model IPC per direction predictor on branchy profiles.
+func (o Opts) Predictors() Table {
+	t := Table{
+		ID:      "predictors",
+		Title:   "direction predictors: misprediction rate / interval IPC",
+		Columns: []string{"predictor", "gcc misp", "gcc IPC", "vpr misp", "vpr IPC", "crafty misp", "crafty IPC"},
+	}
+	benches := []string{"gcc", "vpr", "crafty"}
+	for _, kind := range []string{"bimodal", "gshare", "local", "tournament", "tage"} {
+		row := []string{kind}
+		for _, name := range benches {
+			p := workload.SPECByName(name)
+			m := config.Default(1)
+			m.Branch.Kind = kind
+			res := multicore.Run(multicore.RunConfig{
+				Machine:     m,
+				Model:       multicore.Interval,
+				WarmupInsts: o.Warmup,
+				Warmup:      []trace.Stream{workload.New(p, 0, 1, o.Seed+1000)},
+				KeepCores:   true,
+			}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, o.Seed), o.Insts)})
+			row = append(row, mispOf(res), f3(res.Cores[0].IPC))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"Table 1's local predictor is the baseline; bimodal trails clearly on every profile",
+		"the synthetic branch sites are local-history-correlated by construction, so the",
+		"history-based predictors (local, gshare, tournament, TAGE) land within a few points")
+	return t
+}
+
+// mispOf extracts the branch misprediction ratio from a kept-cores run.
+func mispOf(res multicore.Result) string {
+	ic, ok := res.Sim[0].(*core.Core)
+	if !ok {
+		return "-"
+	}
+	return pct(ic.MispredictRate())
+}
+
+// CoPhase regenerates the co-phase-matrix validation: for two two-program
+// mixes of phased workloads, the matrix prediction versus the actual
+// co-run, per program.
+func (o Opts) CoPhase() Table {
+	t := Table{
+		ID:      "cophase",
+		Title:   "co-phase matrix (Van Biesbrouck et al.): predicted vs actual co-run IPC",
+		Columns: []string{"mix", "program", "actual IPC", "predicted", "error", "cells"},
+	}
+	segLen := o.Insts / 10
+	if segLen < 1000 {
+		segLen = 1000
+	}
+	// Each program is 12 phased segments; the first two are
+	// initialization, used only to warm the actual co-run (the matrix
+	// cells warm with their in-stream prefixes).
+	const initSegs = 2
+	phased := func(x, y string, seedX, seedY int64) (init, rest []isa.Inst) {
+		gx := workload.New(workload.SPECByName(x), 0, 1, seedX)
+		gy := workload.New(workload.SPECByName(y), 0, 1, seedY)
+		all := trace.Record(gx, segLen)
+		for s := 1; s < 10+initSegs; s++ {
+			g := trace.Stream(gx)
+			if s%2 == 1 {
+				g = gy
+			}
+			all = append(all, trace.Record(g, segLen)...)
+		}
+		return all[:initSegs*segLen], all[initSegs*segLen:]
+	}
+	type phasedProg struct{ init, rest []isa.Inst }
+	mk := func(x, y string, sx, sy int64) phasedProg {
+		i, r := phased(x, y, sx, sy)
+		return phasedProg{i, r}
+	}
+	mixes := []struct {
+		name   string
+		a, b   phasedProg
+		labels [2]string
+	}{
+		{"gcc~swim / mcf~gcc", mk("gcc", "swim", o.Seed, o.Seed+1), mk("mcf", "gcc", o.Seed+2, o.Seed+3),
+			[2]string{"gcc~swim", "mcf~gcc"}},
+		{"crafty~art / swim~twolf", mk("crafty", "art", o.Seed+4, o.Seed+5), mk("swim", "twolf", o.Seed+6, o.Seed+7),
+			[2]string{"crafty~art", "swim~twolf"}},
+	}
+	m := config.Default(2)
+	for _, mix := range mixes {
+		res, err := sampling.CoPhaseEstimate(mix.a.rest, mix.b.rest, sampling.CoPhaseConfig{
+			IntervalLen: segLen, K: 2, Seed: 9, Machine: m, Model: multicore.Interval,
+		})
+		if err != nil {
+			t.Rows = append(t.Rows, []string{mix.name, "error", err.Error(), "", "", ""})
+			continue
+		}
+		actual := multicore.Run(multicore.RunConfig{
+			Machine: m, Model: multicore.Interval,
+			WarmupInsts: initSegs * segLen,
+			Warmup: []trace.Stream{
+				trace.NewSliceStream(mix.a.init),
+				trace.NewSliceStream(mix.b.init),
+			},
+		}, []trace.Stream{trace.NewSliceStream(mix.a.rest), trace.NewSliceStream(mix.b.rest)})
+		for k := 0; k < 2; k++ {
+			act := actual.Cores[k].IPC
+			pred := res.Predicted[k]
+			t.Rows = append(t.Rows, []string{
+				mix.name, mix.labels[k], f3(act), f3(pred),
+				pct(math.Abs(pred-act) / act),
+				fmt.Sprintf("%d x %d", res.MatrixRuns, segLen),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"each mix simulates K*K short phase-pair cells instead of the full co-run;",
+		"the first two segments are initialization, discarded on both sides")
+	return t
+}
+
+// Extensions returns the beyond-the-paper tables in order.
+func (o Opts) Extensions() []Table {
+	return []Table{o.AblationModel(), o.Predictors(), o.Fabric(), o.DRAMStudy(), o.Scale16(), o.CoPhase()}
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/memhier"
+	"repro/internal/metrics"
+	"repro/internal/multicore"
+	"repro/internal/workload"
+)
+
+// fig4Setup describes one step-by-step accuracy experiment of Figure 4.
+type fig4Setup struct {
+	sub       string
+	title     string
+	perfect   memhier.Perfect
+	predictor string
+}
+
+func fig4Setups() []fig4Setup {
+	return []fig4Setup{
+		// (a) Perfect predictor, I-side and L2: only the L1 D-cache is
+		// real — evaluates the effective dispatch rate model.
+		{"4a", "effective dispatch rate", memhier.Perfect{ISide: true, L2: true}, "perfect"},
+		// (b) Perfect predictor and D-side: only I-cache/I-TLB real.
+		{"4b", "I-cache/TLB", memhier.Perfect{DSide: true}, "perfect"},
+		// (c) All caches perfect: only the branch predictor is real.
+		{"4c", "branch prediction", memhier.Perfect{ISide: true, DSide: true}, "local"},
+		// (d) Perfect I-side and predictor: L1 D and L2 real.
+		{"4d", "L2 cache", memhier.Perfect{ISide: true}, "perfect"},
+	}
+}
+
+// Fig4 regenerates one panel of Figure 4 ("4a".."4d"): per-benchmark IPC
+// under detailed and interval simulation with selected structures perfect.
+func (o Opts) Fig4(sub string) Table {
+	var setup fig4Setup
+	for _, s := range fig4Setups() {
+		if s.sub == sub {
+			setup = s
+		}
+	}
+	if setup.sub == "" {
+		panic("experiments: unknown Figure 4 panel " + sub)
+	}
+	t := Table{
+		ID:      "fig" + setup.sub,
+		Title:   "step-by-step accuracy: " + setup.title + " (IPC, detailed vs interval)",
+		Columns: []string{"benchmark", "detailed", "interval", "error"},
+	}
+	var sum metrics.Summary
+	for _, p := range workload.SPEC() {
+		q := p
+		det := o.runSpec(&q, multicore.Detailed, 1, setup.perfect, setup.predictor)
+		intv := o.runSpec(&q, multicore.Interval, 1, setup.perfect, setup.predictor)
+		e := metrics.RelError(det.Cores[0].IPC, intv.Cores[0].IPC)
+		sum.Add(p.Name, det.Cores[0].IPC, intv.Cores[0].IPC)
+		t.Rows = append(t.Rows, []string{p.Name, f3(det.Cores[0].IPC), f3(intv.Cores[0].IPC), pct(e)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average error %s, max %s (%s); paper: dispatch/I-side most accurate (1.8%%), branch 3.8%%, L2 4.6%%",
+			pct(sum.Avg()), pct(sum.Max), sum.MaxName))
+	return t
+}
+
+// Fig5 regenerates Figure 5: full single-threaded accuracy, all structures
+// real.
+func (o Opts) Fig5() Table {
+	t := Table{
+		ID:      "fig5",
+		Title:   "single-threaded SPEC accuracy (IPC, detailed vs interval)",
+		Columns: []string{"benchmark", "detailed", "interval", "error"},
+	}
+	var sum metrics.Summary
+	for _, p := range workload.SPEC() {
+		q := p
+		det := o.runSpec(&q, multicore.Detailed, 1, memhier.Perfect{}, "")
+		intv := o.runSpec(&q, multicore.Interval, 1, memhier.Perfect{}, "")
+		e := metrics.RelError(det.Cores[0].IPC, intv.Cores[0].IPC)
+		sum.Add(p.Name, det.Cores[0].IPC, intv.Cores[0].IPC)
+		t.Rows = append(t.Rows, []string{p.Name, f3(det.Cores[0].IPC), f3(intv.Cores[0].IPC), pct(e)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average error %s, max %s (%s); paper: 5.9%% average, 15.5%% max",
+			pct(sum.Avg()), pct(sum.Max), sum.MaxName))
+	return t
+}
+
+// fig6Benchmarks are the homogeneous multi-program workloads the paper
+// reports (multiple copies of the same benchmark).
+var fig6Benchmarks = []string{"gcc", "mcf", "twolf", "art", "swim"}
+
+// Fig6 regenerates Figure 6: STP and ANTT for homogeneous multi-program
+// workloads at 1, 2, 4 and 8 copies, detailed vs interval.
+func (o Opts) Fig6() Table {
+	t := Table{
+		ID:    "fig6",
+		Title: "multi-program STP and ANTT (detailed vs interval)",
+		Columns: []string{"workload", "copies", "STP(det)", "STP(intv)",
+			"ANTT(det)", "ANTT(intv)", "errSTP", "errANTT"},
+	}
+	var stpSum, anttSum metrics.Summary
+	for _, name := range fig6Benchmarks {
+		p := workload.SPECByName(name)
+		// Alone runs normalize progress per model.
+		aloneDet := o.runSpec(p, multicore.Detailed, 1, memhier.Perfect{}, "").Cores[0].IPC
+		aloneIntv := o.runSpec(p, multicore.Interval, 1, memhier.Perfect{}, "").Cores[0].IPC
+		for _, copies := range []int{1, 2, 4, 8} {
+			det := o.runSpec(p, multicore.Detailed, copies, memhier.Perfect{}, "")
+			intv := o.runSpec(p, multicore.Interval, copies, memhier.Perfect{}, "")
+			stpD := metrics.STP(repeat(aloneDet, copies), ipcs(det))
+			stpI := metrics.STP(repeat(aloneIntv, copies), ipcs(intv))
+			anttD := metrics.ANTT(repeat(aloneDet, copies), ipcs(det))
+			anttI := metrics.ANTT(repeat(aloneIntv, copies), ipcs(intv))
+			key := fmt.Sprintf("%s x%d", name, copies)
+			stpSum.Add(key, stpD, stpI)
+			anttSum.Add(key, anttD, anttI)
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprint(copies),
+				f2(stpD), f2(stpI), f2(anttD), f2(anttI),
+				pct(metrics.RelError(stpD, stpI)), pct(metrics.RelError(anttD, anttI)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("STP avg error %s (max %s, %s); ANTT avg error %s (max %s, %s); paper: 3.8%%/4.2%% avg, 16%% max",
+			pct(stpSum.Avg()), pct(stpSum.Max), stpSum.MaxName,
+			pct(anttSum.Avg()), pct(anttSum.Max), anttSum.MaxName),
+		"shape: STP collapses and ANTT rises for cache-thrashing mcf/art at 4-8 copies; gcc throughput keeps rising")
+	return t
+}
+
+// Fig7 regenerates Figure 7: PARSEC normalized execution time versus core
+// count, detailed vs interval. Times are normalized to the detailed
+// single-core run of each benchmark, as in the paper.
+func (o Opts) Fig7() Table {
+	t := Table{
+		ID:    "fig7",
+		Title: "multi-threaded PARSEC normalized execution time vs cores",
+		Columns: []string{"benchmark", "cores", "norm(det)", "norm(intv)",
+			"error"},
+	}
+	var sum metrics.Summary
+	for _, p := range workload.PARSEC() {
+		q := p
+		var base float64
+		for _, cores := range []int{1, 2, 4, 8} {
+			det := o.runParsec(&q, multicore.Detailed, config.Default(cores))
+			intv := o.runParsec(&q, multicore.Interval, config.Default(cores))
+			if cores == 1 {
+				base = float64(det.Cycles)
+			}
+			nd := float64(det.Cycles) / base
+			ni := float64(intv.Cycles) / base
+			key := fmt.Sprintf("%s @%d", p.Name, cores)
+			sum.Add(key, nd, ni)
+			t.Rows = append(t.Rows, []string{
+				p.Name, fmt.Sprint(cores), f3(nd), f3(ni),
+				pct(metrics.RelError(nd, ni)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average error %s, max %s (%s); paper: 4.6%% average, 11%% max (fluidanimate)",
+			pct(sum.Avg()), pct(sum.Max), sum.MaxName),
+		"shape: most benchmarks speed up with cores; vips plateaus (serial stage); interval tracks every trend")
+	return t
+}
+
+// Fig8 regenerates the Figure 8 case study: a dual-core with 4MB L2 and
+// external DRAM (16-byte bus) versus a quad-core with 3D-stacked DRAM
+// (125-cycle, 128-byte bus) and no L2. Values are execution times
+// normalized to the detailed dual-core run.
+func (o Opts) Fig8() Table {
+	t := Table{
+		ID:    "fig8",
+		Title: "3D-stacking trade-off: 2 cores + L2 vs 4 cores + 3D DRAM",
+		Columns: []string{"benchmark", "config", "norm(det)", "norm(intv)",
+			"winner(det)", "winner(intv)"},
+	}
+	agree := 0
+	for _, p := range workload.PARSEC() {
+		q := p
+		m2 := config.Default(2)
+		m4 := config.Stacked3D(4)
+		det2 := o.runParsec(&q, multicore.Detailed, m2)
+		det4 := o.runParsec(&q, multicore.Detailed, m4)
+		intv2 := o.runParsec(&q, multicore.Interval, m2)
+		intv4 := o.runParsec(&q, multicore.Interval, m4)
+		base := float64(det2.Cycles)
+		baseI := float64(intv2.Cycles)
+		winD := "2c+L2"
+		if det4.Cycles < det2.Cycles {
+			winD = "4c+3D"
+		}
+		winI := "2c+L2"
+		if intv4.Cycles < intv2.Cycles {
+			winI = "4c+3D"
+		}
+		if winD == winI {
+			agree++
+		}
+		t.Rows = append(t.Rows,
+			[]string{p.Name, "2c+L2", f3(1.0), f3(baseI / base), winD, winI},
+			[]string{p.Name, "4c+3D", f3(float64(det4.Cycles) / base),
+				f3(float64(intv4.Cycles) / base), "", ""})
+	}
+	n := len(workload.PARSEC())
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("design decisions agree on %d/%d benchmarks; paper: interval simulation leads to the same conclusions", agree, n),
+		"shape: compute/bandwidth-hungry benchmarks prefer 4c+3D; cache-hungry ones keep the L2")
+	return t
+}
+
+// Fig9 regenerates Figure 9: interval-vs-detailed simulation speedup for
+// homogeneous SPEC multi-program runs at 1-8 cores (host wall-clock ratio).
+func (o Opts) Fig9() Table {
+	t := Table{
+		ID:      "fig9",
+		Title:   "simulation speedup over detailed simulation (SPEC)",
+		Columns: []string{"benchmark", "1-core", "2-core", "4-core", "8-core"},
+	}
+	var all []float64
+	for _, p := range workload.SPEC() {
+		q := p
+		row := []string{p.Name}
+		for _, cores := range []int{1, 2, 4, 8} {
+			det := o.runSpec(&q, multicore.Detailed, cores, memhier.Perfect{}, "")
+			intv := o.runSpec(&q, multicore.Interval, cores, memhier.Perfect{}, "")
+			s := metrics.Speedup(det.Wall.Seconds(), intv.Wall.Seconds())
+			all = append(all, s)
+			row = append(row, f2(s))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geometric-mean speedup %.1fx; paper: up to 15x for multi-program workloads", metrics.GeoMean(all)))
+	return t
+}
+
+// Fig10 regenerates Figure 10: simulation speedup for PARSEC runs.
+func (o Opts) Fig10() Table {
+	t := Table{
+		ID:      "fig10",
+		Title:   "simulation speedup over detailed simulation (PARSEC)",
+		Columns: []string{"benchmark", "1-core", "2-core", "4-core", "8-core"},
+	}
+	var all []float64
+	for _, p := range workload.PARSEC() {
+		q := p
+		row := []string{p.Name}
+		for _, cores := range []int{1, 2, 4, 8} {
+			det := o.runParsec(&q, multicore.Detailed, config.Default(cores))
+			intv := o.runParsec(&q, multicore.Interval, config.Default(cores))
+			s := metrics.Speedup(det.Wall.Seconds(), intv.Wall.Seconds())
+			all = append(all, s)
+			row = append(row, f2(s))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geometric-mean speedup %.1fx; paper: 8-9x for multi-threaded workloads", metrics.GeoMean(all)))
+	return t
+}
+
+// Ablation compares the one-IPC model (the naive baseline the paper cites)
+// against interval simulation on the Figure 5 set: interval simulation
+// should be dramatically more accurate.
+func (o Opts) Ablation() Table {
+	t := Table{
+		ID:    "ablation",
+		Title: "one-IPC model vs interval simulation (error vs detailed)",
+		Columns: []string{"benchmark", "detailed", "one-ipc", "interval",
+			"err(one-ipc)", "err(interval)"},
+	}
+	var oneSum, intvSum metrics.Summary
+	for _, p := range workload.SPEC() {
+		q := p
+		det := o.runSpec(&q, multicore.Detailed, 1, memhier.Perfect{}, "")
+		one := o.runSpec(&q, multicore.OneIPC, 1, memhier.Perfect{}, "")
+		intv := o.runSpec(&q, multicore.Interval, 1, memhier.Perfect{}, "")
+		oneSum.Add(p.Name, det.Cores[0].IPC, one.Cores[0].IPC)
+		intvSum.Add(p.Name, det.Cores[0].IPC, intv.Cores[0].IPC)
+		t.Rows = append(t.Rows, []string{
+			p.Name, f3(det.Cores[0].IPC), f3(one.Cores[0].IPC), f3(intv.Cores[0].IPC),
+			pct(metrics.RelError(det.Cores[0].IPC, one.Cores[0].IPC)),
+			pct(metrics.RelError(det.Cores[0].IPC, intv.Cores[0].IPC)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("one-IPC avg error %s vs interval %s: interval simulation is the more accurate easy-to-implement alternative",
+			pct(oneSum.Avg()), pct(intvSum.Avg())))
+	return t
+}
+
+// All runs every experiment in paper order.
+func (o Opts) All() []Table {
+	tables := []Table{}
+	for _, s := range fig4Setups() {
+		tables = append(tables, o.Fig4(s.sub))
+	}
+	tables = append(tables, o.Fig5(), o.Fig6(), o.Fig7(), o.Fig8(),
+		o.Fig9(), o.Fig10(), o.Ablation())
+	return tables
+}
+
+func ipcs(r multicore.Result) []float64 {
+	out := make([]float64, len(r.Cores))
+	for i, c := range r.Cores {
+		out[i] = c.IPC
+	}
+	return out
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package memory
+
+import "fmt"
+
+// MemStats aggregates the counters shared by the main-memory models.
+type MemStats struct {
+	// Requests counts line fetches.
+	Requests uint64
+	// StallTotal is the total cycles requests spent queueing (for a
+	// busy bank or the shared data bus).
+	StallTotal int64
+	// BusyTotal is the total cycles the shared data bus transferred.
+	BusyTotal int64
+}
+
+// MainMemory is a main-memory model as seen by the memory hierarchy: a
+// line fetch issued at a time returns its total latency. The fixed-latency
+// DRAM ignores the address; the banked model maps it to a bank and row.
+type MainMemory interface {
+	// AccessLine fetches the line containing addr at time now and
+	// returns the total latency in cycles.
+	AccessLine(addr uint64, now int64) int64
+	// Latency returns the uncontended access latency in cycles (the
+	// banked model reports the row-hit case).
+	Latency() int64
+	// Utilization returns the data-bus busy fraction up to now.
+	Utilization(now int64) float64
+	// Stats returns the accumulated counters.
+	Stats() MemStats
+	// ResetStats clears counters and pending occupancy.
+	ResetStats()
+}
+
+// AccessLine implements MainMemory for the fixed-latency model.
+func (d *DRAM) AccessLine(_ uint64, now int64) int64 { return d.Access(now) }
+
+// Stats implements MainMemory for the fixed-latency model.
+func (d *DRAM) Stats() MemStats {
+	return MemStats{Requests: d.Requests, StallTotal: d.StallTotal, BusyTotal: d.BusyTotal}
+}
+
+var _ MainMemory = (*DRAM)(nil)
+
+type bank struct {
+	freeAt  int64
+	openRow int64 // -1: no row open (closed bank)
+}
+
+// Banked is a bank-parallel DRAM with open-page row buffers: an access to
+// the currently open row of a bank pays the row-hit latency; any other
+// access pays the row-conflict latency (precharge + activate + access) and
+// leaves the new row open. Independent banks overlap; all banks share one
+// data bus whose width bounds peak bandwidth, exactly like the fixed
+// model. Address mapping is row:bank:column — all lines within one row
+// map to the same bank, so streaming accesses enjoy row hits and row-sized
+// strides sweep the banks.
+type Banked struct {
+	banks     []bank
+	rowBytes  uint64
+	rowHit    int64
+	rowMiss   int64
+	transfer  int64
+	busFree   int64
+	bankShift uint
+	bankMask  uint64
+
+	MemStats
+	// RowHits and RowMisses classify accesses by row-buffer outcome.
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// NewBanked creates a banked DRAM. nbanks must be a power of two;
+// rowBytes is the row-buffer size; rowHit and rowMiss are the access
+// latencies in cycles for the two row-buffer outcomes; lineSize and
+// busBytes give the shared data bus one line transfer of
+// lineSize/busBytes cycles.
+func NewBanked(nbanks int, rowBytes uint64, rowHit, rowMiss, lineSize, busBytes int) *Banked {
+	if nbanks <= 0 || nbanks&(nbanks-1) != 0 {
+		panic(fmt.Sprintf("memory: bank count %d is not a positive power of two", nbanks))
+	}
+	if rowBytes == 0 || rowBytes&(rowBytes-1) != 0 {
+		panic(fmt.Sprintf("memory: row size %d is not a positive power of two", rowBytes))
+	}
+	tr := int64(lineSize / busBytes)
+	if tr < 1 {
+		tr = 1
+	}
+	shift := uint(0)
+	for r := rowBytes; r > 1; r >>= 1 {
+		shift++
+	}
+	b := &Banked{
+		banks:     make([]bank, nbanks),
+		rowBytes:  rowBytes,
+		rowHit:    int64(rowHit),
+		rowMiss:   int64(rowMiss),
+		transfer:  tr,
+		bankShift: shift,
+		bankMask:  uint64(nbanks - 1),
+	}
+	for i := range b.banks {
+		b.banks[i].openRow = -1
+	}
+	return b
+}
+
+// Map returns the bank index and row number for addr (exported for tests).
+func (b *Banked) Map(addr uint64) (bankIdx int, row int64) {
+	blk := addr >> b.bankShift
+	return int(blk & b.bankMask), int64(blk >> bankBits(len(b.banks)))
+}
+
+// AccessLine implements MainMemory.
+func (b *Banked) AccessLine(addr uint64, now int64) int64 {
+	b.Requests++
+	blk := addr >> b.bankShift
+	bk := &b.banks[blk&b.bankMask]
+	row := int64(blk >> bankBits(len(b.banks)))
+
+	start := now
+	if bk.freeAt > start {
+		start = bk.freeAt
+	}
+	b.StallTotal += start - now
+
+	// The requester waits the full access latency, but the bank is
+	// occupied for less: column reads of an open row pipeline at the
+	// burst rate, so a row hit holds the bank only for the transfer; a
+	// row conflict additionally holds it for the precharge + activate
+	// work (the hit/miss latency difference).
+	var acc, busy int64
+	if bk.openRow == row {
+		acc = b.rowHit
+		busy = b.transfer
+		b.RowHits++
+	} else {
+		acc = b.rowMiss
+		busy = b.rowMiss - b.rowHit + b.transfer
+		b.RowMisses++
+		bk.openRow = row
+	}
+	bk.freeAt = start + busy
+
+	// Data transfer on the shared bus after the bank access.
+	ts := start + acc
+	if b.busFree > ts {
+		b.StallTotal += b.busFree - ts
+		ts = b.busFree
+	}
+	b.busFree = ts + b.transfer
+	b.BusyTotal += b.transfer
+	return ts + b.transfer - now
+}
+
+// bankBits returns log2(n) for the power-of-two bank count n.
+func bankBits(n int) uint {
+	bits := uint(0)
+	for n > 1 {
+		n >>= 1
+		bits++
+	}
+	return bits
+}
+
+// Latency implements MainMemory: the uncontended row-hit latency plus the
+// transfer.
+func (b *Banked) Latency() int64 { return b.rowHit + b.transfer }
+
+// RowHitRate returns RowHits / Requests, or 0 with no requests.
+func (b *Banked) RowHitRate() float64 {
+	if b.Requests == 0 {
+		return 0
+	}
+	return float64(b.RowHits) / float64(b.Requests)
+}
+
+// Utilization implements MainMemory.
+func (b *Banked) Utilization(now int64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(b.BusyTotal) / float64(now)
+}
+
+// Stats implements MainMemory.
+func (b *Banked) Stats() MemStats { return b.MemStats }
+
+// ResetStats implements MainMemory: clears counters, pending bank and bus
+// occupancy, and closes all row buffers.
+func (b *Banked) ResetStats() {
+	for i := range b.banks {
+		b.banks[i] = bank{openRow: -1}
+	}
+	b.busFree = 0
+	b.MemStats = MemStats{}
+	b.RowHits, b.RowMisses = 0, 0
+}
+
+var _ MainMemory = (*Banked)(nil)

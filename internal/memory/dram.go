@@ -1,0 +1,75 @@
+// Package memory models main memory: a fixed access latency plus a finite-
+// width memory bus shared by all cores. The bus gives the machine a peak
+// off-chip bandwidth; under contention requests queue, which is how the
+// multi-program and multi-threaded experiments expose bandwidth pressure
+// (Figures 6–8).
+package memory
+
+// DRAM is the main-memory model. A request at time t completes at
+//
+//	max(t, busFree) + transfer + latency
+//
+// where transfer = lineSize/busBytes cycles occupies the bus. The model is
+// deliberately simple — interval simulation targets system-level studies
+// where queueing and bandwidth, not DRAM page policy, are first-order.
+type DRAM struct {
+	latency  int64
+	transfer int64
+	busFree  int64
+
+	Requests   uint64
+	StallTotal int64 // cycles spent queueing for the bus
+	BusyTotal  int64 // cycles the bus spent transferring
+}
+
+// NewDRAM creates a DRAM model with the given access latency in cycles,
+// line size in bytes and bus width in bytes per cycle.
+func NewDRAM(latencyCycles, lineSize, busBytes int) *DRAM {
+	tr := int64(lineSize / busBytes)
+	if tr < 1 {
+		tr = 1
+	}
+	return &DRAM{latency: int64(latencyCycles), transfer: tr}
+}
+
+// Access issues a line fetch at time now and returns its total latency in
+// cycles (queueing + transfer + access).
+func (d *DRAM) Access(now int64) int64 {
+	d.Requests++
+	start := now
+	if d.busFree > start {
+		start = d.busFree
+	}
+	d.StallTotal += start - now
+	d.busFree = start + d.transfer
+	d.BusyTotal += d.transfer
+	return (start - now) + d.transfer + d.latency
+}
+
+// Latency returns the uncontended access latency (cycles).
+func (d *DRAM) Latency() int64 { return d.latency + d.transfer }
+
+// TransferCycles returns the bus occupancy of one line transfer.
+func (d *DRAM) TransferCycles() int64 { return d.transfer }
+
+// Utilization returns the fraction of cycles the bus was busy up to time
+// now (0 if now is 0).
+func (d *DRAM) Utilization(now int64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(d.BusyTotal) / float64(now)
+}
+
+// Reset clears queueing state and statistics.
+func (d *DRAM) Reset() {
+	d.busFree = 0
+	d.Requests, d.StallTotal, d.BusyTotal = 0, 0, 0
+}
+
+// ResetStats clears statistics and pending bus occupancy, for functional-
+// warmup runs.
+func (d *DRAM) ResetStats() {
+	d.busFree = 0
+	d.Requests, d.StallTotal, d.BusyTotal = 0, 0, 0
+}

@@ -1,0 +1,279 @@
+// Package multicore runs N simulated cores — detailed, interval or one-IPC
+// — against a shared memory hierarchy and a synchronization coordinator,
+// and reports per-core and machine-level results. It is the outer loop of
+// Figure 3: global time advances cycle by cycle; each live core is stepped
+// once per cycle (interval cores internally skip cycles their miss-event
+// penalties have already covered).
+package multicore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/branch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/memhier"
+	"repro/internal/metrics"
+	"repro/internal/oneipc"
+	"repro/internal/ooo"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Model selects the core timing model.
+type Model int
+
+const (
+	// Detailed is the cycle-level out-of-order baseline.
+	Detailed Model = iota
+	// Interval is the paper's analytical model.
+	Interval
+	// OneIPC is the naive one-instruction-per-cycle ablation model.
+	OneIPC
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case Detailed:
+		return "detailed"
+	case Interval:
+		return "interval"
+	case OneIPC:
+		return "one-ipc"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// Machine is the simulated hardware; Machine.Cores must equal the
+	// number of streams passed to Run.
+	Machine config.Machine
+	// Model selects the core timing model.
+	Model Model
+	// Perfect selects always-hit structures (Figure 4 experiments).
+	Perfect memhier.Perfect
+	// MaxCycles aborts runaway runs (0 = a generous default).
+	MaxCycles int64
+	// KeepCores retains the core model objects in Result.Sim so callers
+	// can read model-specific state (e.g. the interval model's CPI
+	// stacks) after the run.
+	KeepCores bool
+	// WarmupInsts functionally warms caches, TLBs and branch predictors
+	// with this many instructions per core before timed simulation, then
+	// clears statistics (the paper's 100M-instruction SimPoints arrive
+	// warm; short synthetic runs must be warmed explicitly).
+	WarmupInsts int
+	// Warmup optionally supplies separate warmup streams (e.g. twin
+	// generators replaying the measured stream); when nil, warmup
+	// consumes the head of the main streams.
+	Warmup []trace.Stream
+	// Ablation selects interval-model ablation variants (zero value =
+	// full model); ignored by the other models.
+	Ablation core.Options
+}
+
+// CoreResult is the outcome for one core/thread.
+type CoreResult struct {
+	Retired uint64
+	// Finish is the core-local simulated time at which the thread
+	// completed.
+	Finish int64
+	IPC    float64
+}
+
+// Result is the outcome of one multi-core run.
+type Result struct {
+	Model Model
+	// Cycles is the machine-level execution time: the time the last
+	// thread finished.
+	Cycles int64
+	Cores  []CoreResult
+	// TotalRetired sums retired instructions across cores.
+	TotalRetired uint64
+	// Wall is the host wall-clock duration of the simulation, used for
+	// the simulation-speed comparisons of Figures 9 and 10.
+	Wall time.Duration
+	// TimedOut is set when MaxCycles was reached before completion.
+	TimedOut bool
+	// Sim holds the core model objects when RunConfig.KeepCores is set.
+	Sim []sim.Core
+	// Mem is the memory hierarchy when RunConfig.KeepCores is set (for
+	// post-run statistics reporting).
+	Mem *memhier.Hierarchy
+}
+
+// MIPS returns simulated instructions per host second in millions.
+func (r Result) MIPS() float64 {
+	s := r.Wall.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.TotalRetired) / s / 1e6
+}
+
+// Run simulates the streams (one per core) to completion under cfg and
+// returns the result. The number of streams must equal Machine.Cores.
+func Run(cfg RunConfig, streams []trace.Stream) Result {
+	if len(streams) != cfg.Machine.Cores {
+		panic(fmt.Sprintf("multicore: %d streams for %d cores", len(streams), cfg.Machine.Cores))
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+
+	mem := memhier.New(cfg.Machine.Cores, cfg.Machine.Mem, cfg.Perfect)
+	coord := NewCoordinator(cfg.Machine.Cores)
+
+	bps := make([]*branch.Unit, cfg.Machine.Cores)
+	for i := range bps {
+		bps[i] = branch.NewUnit(cfg.Machine.Branch)
+	}
+	if cfg.WarmupInsts > 0 {
+		warm := cfg.Warmup
+		if warm == nil {
+			warm = streams
+		}
+		warmup(mem, bps, warm, cfg.WarmupInsts)
+	}
+
+	cores := make([]sim.Core, cfg.Machine.Cores)
+	for i := range cores {
+		bp := bps[i]
+		switch cfg.Model {
+		case Detailed:
+			cores[i] = ooo.New(i, cfg.Machine.Core, bp, mem, streams[i], coord)
+		case Interval:
+			cores[i] = core.NewWithOptions(i, cfg.Machine.Core, cfg.Ablation, bp, mem, streams[i], coord)
+		case OneIPC:
+			cores[i] = oneipc.New(i, mem, streams[i], coord)
+		default:
+			panic("multicore: unknown model")
+		}
+	}
+
+	res := Result{Model: cfg.Model, Cores: make([]CoreResult, len(cores))}
+	noted := make([]bool, len(cores))
+
+	start := time.Now()
+	now := int64(0)
+	n := len(cores)
+	for {
+		allDone := true
+		// Rotate the stepping order each cycle: same-cycle races for the
+		// shared bus and L2 are then arbitrated round-robin instead of
+		// systematically favoring low-numbered cores.
+		first := 0
+		if n > 0 {
+			first = int(now % int64(n))
+		}
+		for k := 0; k < n; k++ {
+			i := (first + k) % n
+			c := cores[i]
+			if c.Done() {
+				if !noted[i] {
+					noted[i] = true
+					coord.NoteDone(i)
+				}
+				continue
+			}
+			c.Step(now)
+			if c.Done() {
+				noted[i] = true
+				coord.NoteDone(i)
+			} else {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		// Event-driven skip: if every live core is ahead of global time
+		// (miss-event penalties), jump straight to the earliest next
+		// activity — no core would be simulated in between.
+		next := now + 1
+		skip := true
+		var minNext int64 = 1<<62 - 1
+		for _, c := range cores {
+			if c.Done() {
+				continue
+			}
+			ts, ok := c.(sim.TimeSkipper)
+			if !ok {
+				skip = false
+				break
+			}
+			na := ts.NextActive(now + 1)
+			if na < minNext {
+				minNext = na
+			}
+		}
+		if skip && minNext > next {
+			next = minNext
+		}
+		now = next
+		if now >= maxCycles {
+			res.TimedOut = true
+			break
+		}
+	}
+	res.Wall = time.Since(start)
+	if cfg.KeepCores {
+		res.Sim = cores
+		res.Mem = mem
+	}
+
+	for i, c := range cores {
+		fin := c.FinishTime()
+		if !c.Done() {
+			fin = now
+		}
+		res.Cores[i] = CoreResult{
+			Retired: c.Retired(),
+			Finish:  fin,
+			IPC:     metrics.IPC(c.Retired(), fin),
+		}
+		res.TotalRetired += c.Retired()
+		if fin > res.Cycles {
+			res.Cycles = fin
+		}
+	}
+	return res
+}
+
+// warmup replays n instructions per core through the caches, TLBs and
+// branch predictors without timing, then clears all statistics. This is
+// standard functional warming: the timed portion then measures steady-state
+// behaviour instead of cold-start misses.
+func warmup(mem *memhier.Hierarchy, bps []*branch.Unit, streams []trace.Stream, n int) {
+	for i, s := range streams {
+		if i >= len(bps) {
+			break
+		}
+		for k := 0; k < n; k++ {
+			in, ok := s.Next()
+			if !ok {
+				break
+			}
+			if in.Class.IsSync() {
+				continue
+			}
+			mem.Inst(i, in.PC, 0)
+			if in.Class.IsBranch() {
+				bps[i].Predict(&in)
+			}
+			if in.Class.IsMem() {
+				mem.Data(i, in.Addr, in.Class == isa.Store, 0)
+			}
+		}
+	}
+	mem.ResetStats()
+	for _, bp := range bps {
+		bp.ResetStats()
+	}
+}

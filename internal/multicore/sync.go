@@ -1,0 +1,165 @@
+package multicore
+
+import (
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Latency of synchronization primitives in cycles: a barrier release
+// broadcast and a lock hand-off each cost roughly a coherence round trip.
+const (
+	barrierReleaseLatency = 20
+	lockTransferLatency   = 20
+	lockAcquireLatency    = 2 // uncontended
+)
+
+// Coordinator arbitrates barriers and locks between the threads of a
+// multi-threaded run. It implements sim.Syncer for both core models. Core
+// models poll Sync every cycle while blocked; all methods are idempotent
+// under such polling.
+type Coordinator struct {
+	threads int
+	done    []bool
+
+	// Barrier state: one global phase barrier (PARSEC-style), tracked
+	// by generation. A thread arriving at generation g blocks until the
+	// collecting generation moves past g.
+	barrierGen int    // generation currently collecting arrivals
+	nextGen    []int  // per-thread generation of its next arrival
+	waiting    []bool // per-thread: arrived and blocked
+	arrived    int    // arrivals in the collecting generation
+
+	locks map[uint16]*lockState
+
+	// Statistics.
+	BarrierWaits uint64 // polls that found the barrier still closed
+	LockWaits    uint64 // polls that found the lock held
+	Barriers     uint64 // completed barrier generations
+}
+
+type lockState struct {
+	held   bool
+	holder int
+	queue  []int // FIFO of waiting cores
+	grant  int   // core granted the lock on last release, -1 none
+}
+
+// NewCoordinator creates a coordinator for the given thread count.
+func NewCoordinator(threads int) *Coordinator {
+	return &Coordinator{
+		threads: threads,
+		done:    make([]bool, threads),
+		nextGen: make([]int, threads),
+		waiting: make([]bool, threads),
+		locks:   make(map[uint16]*lockState),
+	}
+}
+
+// Sync implements sim.Syncer.
+func (c *Coordinator) Sync(core int, in *isa.Inst, now int64) sim.SyncDecision {
+	switch in.Class {
+	case isa.BarrierArrive:
+		return c.barrier(core)
+	case isa.LockAcquire:
+		return c.acquire(core, in.SyncID)
+	case isa.LockRelease:
+		return c.release(core, in.SyncID)
+	default:
+		return sim.SyncDecision{Proceed: true, Latency: 1}
+	}
+}
+
+func (c *Coordinator) barrier(core int) sim.SyncDecision {
+	g := c.nextGen[core]
+	if !c.waiting[core] {
+		c.waiting[core] = true
+		c.arrived++
+		c.checkBarrierRelease()
+	}
+	if g < c.barrierGen {
+		// Generation g has been released.
+		c.waiting[core] = false
+		c.nextGen[core] = g + 1
+		return sim.SyncDecision{Proceed: true, Latency: barrierReleaseLatency}
+	}
+	c.BarrierWaits++
+	return sim.SyncDecision{}
+}
+
+// checkBarrierRelease opens the barrier when every live thread has arrived.
+func (c *Coordinator) checkBarrierRelease() {
+	live := 0
+	for t := 0; t < c.threads; t++ {
+		if !c.done[t] {
+			live++
+		}
+	}
+	if live > 0 && c.arrived >= live {
+		c.barrierGen++
+		c.arrived = 0
+		c.Barriers++
+	}
+}
+
+// NoteDone tells the coordinator a thread finished its stream, so barriers
+// no longer wait for it. Called by the driver.
+func (c *Coordinator) NoteDone(core int) {
+	if c.done[core] {
+		return
+	}
+	c.done[core] = true
+	c.checkBarrierRelease()
+}
+
+func (c *Coordinator) lock(id uint16) *lockState {
+	ls, ok := c.locks[id]
+	if !ok {
+		ls = &lockState{holder: -1, grant: -1}
+		c.locks[id] = ls
+	}
+	return ls
+}
+
+func (c *Coordinator) acquire(core int, id uint16) sim.SyncDecision {
+	ls := c.lock(id)
+	if ls.grant == core {
+		// Hand-off from the previous holder.
+		ls.grant = -1
+		ls.held = true
+		ls.holder = core
+		return sim.SyncDecision{Proceed: true, Latency: lockTransferLatency}
+	}
+	if !ls.held && ls.grant == -1 {
+		ls.held = true
+		ls.holder = core
+		return sim.SyncDecision{Proceed: true, Latency: lockAcquireLatency}
+	}
+	if ls.holder == core {
+		// Defensive: generators do not emit recursive locking.
+		return sim.SyncDecision{Proceed: true, Latency: 1}
+	}
+	for _, w := range ls.queue {
+		if w == core {
+			c.LockWaits++
+			return sim.SyncDecision{}
+		}
+	}
+	ls.queue = append(ls.queue, core)
+	c.LockWaits++
+	return sim.SyncDecision{}
+}
+
+func (c *Coordinator) release(core int, id uint16) sim.SyncDecision {
+	ls := c.lock(id)
+	if ls.holder == core {
+		ls.held = false
+		ls.holder = -1
+		if len(ls.queue) > 0 {
+			ls.grant = ls.queue[0]
+			ls.queue = ls.queue[1:]
+		}
+	}
+	return sim.SyncDecision{Proceed: true, Latency: 1}
+}
+
+var _ sim.Syncer = (*Coordinator)(nil)

@@ -1,0 +1,210 @@
+package multicore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func barrierInst() *isa.Inst { return &isa.Inst{Class: isa.BarrierArrive} }
+
+func TestBarrierBlocksUntilAllArrive(t *testing.T) {
+	c := NewCoordinator(3)
+	if d := c.Sync(0, barrierInst(), 10); d.Proceed {
+		t.Fatal("first arrival proceeded alone")
+	}
+	if d := c.Sync(1, barrierInst(), 11); d.Proceed {
+		t.Fatal("second arrival proceeded early")
+	}
+	// Waiters keep polling and stay blocked.
+	if d := c.Sync(0, barrierInst(), 12); d.Proceed {
+		t.Fatal("waiter released before last arrival")
+	}
+	// Last arrival releases everyone.
+	if d := c.Sync(2, barrierInst(), 13); !d.Proceed {
+		t.Fatal("last arrival did not proceed")
+	}
+	for core := 0; core < 2; core++ {
+		if d := c.Sync(core, barrierInst(), 14); !d.Proceed {
+			t.Fatalf("core %d not released", core)
+		}
+	}
+	if c.Barriers != 1 {
+		t.Fatalf("barrier generations = %d, want 1", c.Barriers)
+	}
+}
+
+func TestBarrierGenerationsDoNotBleed(t *testing.T) {
+	c := NewCoordinator(2)
+	// Generation 0: core 0 blocks, core 1's arrival releases both; core 0
+	// picks the release up on its next poll.
+	c.Sync(0, barrierInst(), 0)
+	if d := c.Sync(1, barrierInst(), 1); !d.Proceed {
+		t.Fatal("last arrival of generation 0 blocked")
+	}
+	if d := c.Sync(0, barrierInst(), 2); !d.Proceed {
+		t.Fatal("release poll blocked")
+	}
+	// Core 0 races ahead to the next barrier; it must block until core 1
+	// arrives at generation 1, not be released by generation 0.
+	if d := c.Sync(0, barrierInst(), 3); d.Proceed {
+		t.Fatal("generation 1 arrival released by generation 0")
+	}
+	if d := c.Sync(1, barrierInst(), 4); !d.Proceed {
+		t.Fatal("last arrival of generation 1 blocked")
+	}
+}
+
+func TestBarrierIdempotentPolling(t *testing.T) {
+	c := NewCoordinator(2)
+	for i := 0; i < 10; i++ {
+		if d := c.Sync(0, barrierInst(), int64(i)); d.Proceed {
+			t.Fatal("poller proceeded without the other thread")
+		}
+	}
+	if c.arrived != 1 {
+		t.Fatalf("arrived = %d after repeated polls, want 1", c.arrived)
+	}
+}
+
+func TestBarrierReleasedByThreadCompletion(t *testing.T) {
+	c := NewCoordinator(2)
+	if d := c.Sync(0, barrierInst(), 0); d.Proceed {
+		t.Fatal("proceeded alone")
+	}
+	c.NoteDone(1) // thread 1 ends without reaching the barrier
+	if d := c.Sync(0, barrierInst(), 1); !d.Proceed {
+		t.Fatal("barrier not released when the only other thread finished")
+	}
+}
+
+func lockInst(class isa.Class, id uint16) *isa.Inst {
+	return &isa.Inst{Class: class, SyncID: id}
+}
+
+func TestLockUncontendedAcquire(t *testing.T) {
+	c := NewCoordinator(2)
+	if d := c.Sync(0, lockInst(isa.LockAcquire, 1), 0); !d.Proceed || d.Latency != lockAcquireLatency {
+		t.Fatalf("uncontended acquire = %+v", d)
+	}
+	if d := c.Sync(0, lockInst(isa.LockRelease, 1), 5); !d.Proceed {
+		t.Fatalf("release = %+v", d)
+	}
+}
+
+func TestLockContentionFIFO(t *testing.T) {
+	c := NewCoordinator(3)
+	c.Sync(0, lockInst(isa.LockAcquire, 7), 0)
+	if d := c.Sync(1, lockInst(isa.LockAcquire, 7), 1); d.Proceed {
+		t.Fatal("second acquirer got a held lock")
+	}
+	if d := c.Sync(2, lockInst(isa.LockAcquire, 7), 2); d.Proceed {
+		t.Fatal("third acquirer got a held lock")
+	}
+	c.Sync(0, lockInst(isa.LockRelease, 7), 10)
+	// Hand-off goes to the FIFO head (core 1), not core 2.
+	if d := c.Sync(2, lockInst(isa.LockAcquire, 7), 11); d.Proceed {
+		t.Fatal("FIFO order violated: core 2 jumped the queue")
+	}
+	if d := c.Sync(1, lockInst(isa.LockAcquire, 7), 11); !d.Proceed || d.Latency != lockTransferLatency {
+		t.Fatalf("queued core 1 not granted: %+v", d)
+	}
+}
+
+func TestLockRepolledWaiterNotDuplicated(t *testing.T) {
+	c := NewCoordinator(2)
+	c.Sync(0, lockInst(isa.LockAcquire, 3), 0)
+	for i := 0; i < 5; i++ {
+		c.Sync(1, lockInst(isa.LockAcquire, 3), int64(i))
+	}
+	if n := len(c.lock(3).queue); n != 1 {
+		t.Fatalf("waiter queued %d times", n)
+	}
+}
+
+func TestDistinctLocksIndependent(t *testing.T) {
+	c := NewCoordinator(2)
+	c.Sync(0, lockInst(isa.LockAcquire, 1), 0)
+	if d := c.Sync(1, lockInst(isa.LockAcquire, 2), 1); !d.Proceed {
+		t.Fatal("independent lock blocked")
+	}
+}
+
+func TestReleaseByNonHolderIgnored(t *testing.T) {
+	c := NewCoordinator(2)
+	c.Sync(0, lockInst(isa.LockAcquire, 1), 0)
+	c.Sync(1, lockInst(isa.LockRelease, 1), 1) // bogus release
+	if !c.lock(1).held || c.lock(1).holder != 0 {
+		t.Fatal("non-holder release changed lock state")
+	}
+}
+
+// Property: for any arrival order, a barrier over N threads releases all of
+// them, exactly once per generation.
+func TestQuickBarrierAllReleased(t *testing.T) {
+	f := func(order []uint8, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		c := NewCoordinator(n)
+		released := make([]bool, n)
+		// Drive arrivals in the fuzzed order (repeats = polls).
+		steps := 0
+		for len(order) > 0 && steps < 10000 {
+			core := int(order[0]) % n
+			order = order[1:]
+			if released[core] {
+				continue
+			}
+			if d := c.Sync(core, barrierInst(), int64(steps)); d.Proceed {
+				released[core] = true
+			}
+			steps++
+		}
+		// Finish by polling round-robin; everyone must eventually pass.
+		for i := 0; i < 10*n; i++ {
+			core := i % n
+			if released[core] {
+				continue
+			}
+			if d := c.Sync(core, barrierInst(), int64(steps+i)); d.Proceed {
+				released[core] = true
+			}
+		}
+		for _, r := range released {
+			if !r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a lock is never held by two cores at once under random
+// acquire/release polling.
+func TestQuickLockMutualExclusion(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewCoordinator(4)
+		holding := -1
+		for step, op := range ops {
+			core := int(op) % 4
+			if holding == core {
+				c.Sync(core, lockInst(isa.LockRelease, 0), int64(step))
+				holding = -1
+				continue
+			}
+			if d := c.Sync(core, lockInst(isa.LockAcquire, 0), int64(step)); d.Proceed {
+				if holding != -1 {
+					return false // two holders
+				}
+				holding = core
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

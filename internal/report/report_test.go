@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestFormatFullReport(t *testing.T) {
+	p := workload.SPECByName("gzip")
+	res := multicore.Run(multicore.RunConfig{
+		Machine:   config.Default(2),
+		Model:     multicore.Interval,
+		KeepCores: true,
+	}, []trace.Stream{
+		trace.NewLimit(workload.New(p, 0, 2, 42), 10_000),
+		trace.NewLimit(workload.New(p, 1, 2, 42), 10_000),
+	})
+	out := Format(res)
+	for _, want := range []string{
+		"model=interval", "core 0", "core 1",
+		"L1D miss=", "L2 miss=", "DRAM: requests=",
+		"coherence:", "CPI stack",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatWithoutHierarchy(t *testing.T) {
+	p := workload.SPECByName("gzip")
+	res := multicore.Run(multicore.RunConfig{
+		Machine: config.Default(1),
+		Model:   multicore.Detailed,
+	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), 5_000)})
+	out := Format(res)
+	if !strings.Contains(out, "model=detailed") {
+		t.Errorf("bad report:\n%s", out)
+	}
+	if strings.Contains(out, "memory hierarchy") {
+		t.Error("hierarchy section printed without KeepCores")
+	}
+}
+
+func TestFormat3DConfig(t *testing.T) {
+	p := workload.SPECByName("gzip")
+	res := multicore.Run(multicore.RunConfig{
+		Machine:   config.Stacked3D(1),
+		Model:     multicore.Interval,
+		KeepCores: true,
+	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), 5_000)})
+	out := Format(res)
+	if !strings.Contains(out, "L2: none") {
+		t.Errorf("3D config not reported:\n%s", out)
+	}
+}
+
+func TestFormatIncludesIntervalHistogram(t *testing.T) {
+	p := workload.SPECByName("mcf")
+	res := multicore.Run(multicore.RunConfig{
+		Machine:   config.Default(1),
+		Model:     multicore.Interval,
+		KeepCores: true,
+	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), 10_000)})
+	out := Format(res)
+	for _, want := range []string{"interval lengths", "mean", "CPI stack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatMeshFabricRun(t *testing.T) {
+	m := config.Default(2)
+	m.Mem.Interconnect = "mesh"
+	m.Mem.Coherence = "directory"
+	m.Mem.DRAMKind = "banked"
+	p := workload.SPECByName("gcc")
+	res := multicore.Run(multicore.RunConfig{
+		Machine:   m,
+		Model:     multicore.Interval,
+		KeepCores: true,
+	}, []trace.Stream{
+		trace.NewLimit(workload.New(p, 0, 1, 42), 5_000),
+		trace.NewLimit(workload.New(p, 0, 1, 43), 5_000),
+	})
+	out := Format(res)
+	if !strings.Contains(out, "fabric:") {
+		t.Errorf("report missing fabric line:\n%s", out)
+	}
+	if !strings.Contains(out, "coherence:") {
+		t.Errorf("report missing coherence line:\n%s", out)
+	}
+}

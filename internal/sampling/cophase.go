@@ -1,0 +1,151 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+)
+
+// Co-phase matrix (Van Biesbrouck et al., cited by the paper's related
+// work): to sample a *multi-program* co-run, phase-classify each program
+// separately, co-simulate one short representative per phase *pair*, and
+// then predict the whole co-run by walking both programs' phase sequences
+// at the per-pair speeds. Which phase pairs co-occur depends on relative
+// progress, which the walk itself determines — the circularity that makes
+// naive per-program sampling wrong for co-runs, and that the matrix
+// resolves.
+
+// CoPhaseConfig sizes a two-program co-phase estimation.
+type CoPhaseConfig struct {
+	// IntervalLen is the phase-classification interval length.
+	IntervalLen int
+	// K is the per-program phase count.
+	K int
+	// Seed makes the clustering deterministic.
+	Seed int64
+	// Machine is the co-run hardware; Machine.Cores must be 2.
+	Machine config.Machine
+	// Model selects the core timing model for the matrix cells.
+	Model multicore.Model
+}
+
+// CoPhaseResult is the outcome of a co-phase estimation.
+type CoPhaseResult struct {
+	// PhasesA and PhasesB are the per-program phase classifications.
+	PhasesA, PhasesB *SimPoints
+	// PairIPC is the co-phase matrix: PairIPC[i][j] holds the two
+	// programs' IPCs when phase i of A co-runs with phase j of B.
+	PairIPC [][][2]float64
+	// MatrixRuns counts the co-simulations performed (K_A * K_B).
+	MatrixRuns int
+	// Predicted is the per-program IPC over the walked co-run.
+	Predicted [2]float64
+	// WalkCycles is the predicted co-run length in cycles (to the first
+	// program's completion).
+	WalkCycles float64
+}
+
+// CoPhaseEstimate phase-classifies both instruction streams, co-simulates
+// every phase pair once, and predicts the co-run IPCs by a progress walk
+// over the phase sequences.
+func CoPhaseEstimate(a, b []isa.Inst, cfg CoPhaseConfig) (CoPhaseResult, error) {
+	var res CoPhaseResult
+	if cfg.Machine.Cores != 2 {
+		return res, fmt.Errorf("cophase: two-core machines only (got %d)", cfg.Machine.Cores)
+	}
+	spc := SimPointConfig{IntervalLen: cfg.IntervalLen, K: cfg.K, Seed: cfg.Seed}
+	pa, err := Analyze(a, spc)
+	if err != nil {
+		return res, fmt.Errorf("cophase: program A: %w", err)
+	}
+	pb, err := Analyze(b, spc)
+	if err != nil {
+		return res, fmt.Errorf("cophase: program B: %w", err)
+	}
+	res.PhasesA, res.PhasesB = pa, pb
+
+	// Fill the matrix: one short co-simulation per phase pair, each
+	// side functionally warmed with its representative's prefix.
+	res.PairIPC = make([][][2]float64, pa.K)
+	for i := 0; i < pa.K; i++ {
+		res.PairIPC[i] = make([][2]float64, pb.K)
+		for j := 0; j < pb.K; j++ {
+			ra := pa.Representatives[i] * cfg.IntervalLen
+			rb := pb.Representatives[j] * cfg.IntervalLen
+			ipcA, ipcB := coCell(a, b, ra, rb, cfg)
+			res.PairIPC[i][j] = [2]float64{ipcA, ipcB}
+			res.MatrixRuns++
+		}
+	}
+
+	// Progress walk: advance both programs at the current pair's speeds
+	// until one finishes; phase lookups follow each program's own
+	// instruction position.
+	la, lb := float64(len(a)), float64(len(b))
+	ia, ib, cycles := 0.0, 0.0, 0.0
+	interval := float64(cfg.IntervalLen)
+	phaseAt := func(sp *SimPoints, pos float64) int {
+		k := int(pos / interval)
+		if k >= len(sp.Assignments) {
+			k = len(sp.Assignments) - 1
+		}
+		return sp.Assignments[k]
+	}
+	for ia < la && ib < lb {
+		va := res.PairIPC[phaseAt(pa, ia)][phaseAt(pb, ib)][0]
+		vb := res.PairIPC[phaseAt(pa, ia)][phaseAt(pb, ib)][1]
+		if va <= 0 || vb <= 0 {
+			return res, fmt.Errorf("cophase: non-positive cell IPC (%v, %v)", va, vb)
+		}
+		// Step to the nearest of: either program's next interval
+		// boundary or its completion.
+		da := math.Min(interval-math.Mod(ia, interval), la-ia)
+		db := math.Min(interval-math.Mod(ib, interval), lb-ib)
+		dt := math.Min(da/va, db/vb)
+		ia += va * dt
+		ib += vb * dt
+		cycles += dt
+	}
+	res.WalkCycles = cycles
+	if cycles > 0 {
+		res.Predicted = [2]float64{ia / cycles, ib / cycles}
+	}
+	return res, nil
+}
+
+// coCell co-simulates the two representative intervals on the two-core
+// machine and returns each program's IPC over its own finish time.
+func coCell(a, b []isa.Inst, startA, startB int, cfg CoPhaseConfig) (float64, float64) {
+	endA := startA + cfg.IntervalLen
+	if endA > len(a) {
+		endA = len(a)
+	}
+	endB := startB + cfg.IntervalLen
+	if endB > len(b) {
+		endB = len(b)
+	}
+	warmN := startA
+	if startB > warmN {
+		warmN = startB
+	}
+	runCfg := multicore.RunConfig{
+		Machine: cfg.Machine,
+		Model:   cfg.Model,
+	}
+	if warmN > 0 {
+		runCfg.WarmupInsts = warmN
+		runCfg.Warmup = []trace.Stream{
+			trace.NewSliceStream(a[:startA]),
+			trace.NewSliceStream(b[:startB]),
+		}
+	}
+	res := multicore.Run(runCfg, []trace.Stream{
+		trace.NewSliceStream(a[startA:endA]),
+		trace.NewSliceStream(b[startB:endB]),
+	})
+	return res.Cores[0].IPC, res.Cores[1].IPC
+}

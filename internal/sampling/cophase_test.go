@@ -1,0 +1,122 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestCoPhaseRejectsNonDualMachines(t *testing.T) {
+	a := phasedStream("gcc", "swim", 1000, 2)
+	_, err := CoPhaseEstimate(a, a, CoPhaseConfig{
+		IntervalLen: 1000, K: 2, Machine: config.Default(1), Model: multicore.Interval,
+	})
+	if err == nil {
+		t.Fatal("single-core machine accepted")
+	}
+}
+
+func TestCoPhaseMatrixShape(t *testing.T) {
+	a := phasedStream("gcc", "swim", 2000, 8)
+	b := phasedStream("mcf", "gcc", 2000, 8)
+	res, err := CoPhaseEstimate(a, b, CoPhaseConfig{
+		IntervalLen: 2000, K: 2, Seed: 9,
+		Machine: config.Default(2), Model: multicore.Interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PairIPC) != res.PhasesA.K {
+		t.Fatalf("matrix rows %d, want %d", len(res.PairIPC), res.PhasesA.K)
+	}
+	if res.MatrixRuns != res.PhasesA.K*res.PhasesB.K {
+		t.Fatalf("matrix runs %d, want %d", res.MatrixRuns, res.PhasesA.K*res.PhasesB.K)
+	}
+	for i := range res.PairIPC {
+		for j := range res.PairIPC[i] {
+			if res.PairIPC[i][j][0] <= 0 || res.PairIPC[i][j][1] <= 0 {
+				t.Fatalf("cell (%d,%d) has non-positive IPCs: %v", i, j, res.PairIPC[i][j])
+			}
+		}
+	}
+	if res.Predicted[0] <= 0 || res.Predicted[1] <= 0 || res.WalkCycles <= 0 {
+		t.Fatalf("bad prediction: %+v", res.Predicted)
+	}
+}
+
+// TestCoPhaseTracksActualCoRun is the payoff property: the matrix
+// prediction lands near the IPCs of actually co-simulating the two full
+// programs on the two-core machine.
+func TestCoPhaseTracksActualCoRun(t *testing.T) {
+	const segLen = 4000
+	const initSegs = 2
+	// The first two segments are initialization, excluded from both
+	// sides (the actual run warms with them; the matrix cells warm with
+	// their in-stream prefixes) so cold-start does not dominate either.
+	allA := phasedStream("gcc", "swim", segLen, 10+initSegs)
+	allB := phasedStream("mcf", "gcc", segLen, 10+initSegs)
+	initA, a := allA[:initSegs*segLen], allA[initSegs*segLen:]
+	initB, b := allB[:initSegs*segLen], allB[initSegs*segLen:]
+	m := config.Default(2)
+
+	res, err := CoPhaseEstimate(a, b, CoPhaseConfig{
+		IntervalLen: segLen, K: 2, Seed: 9, Machine: m, Model: multicore.Interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	actual := multicore.Run(multicore.RunConfig{
+		Machine: m, Model: multicore.Interval,
+		WarmupInsts: initSegs * segLen,
+		Warmup: []trace.Stream{
+			trace.NewSliceStream(initA),
+			trace.NewSliceStream(initB),
+		},
+	}, []trace.Stream{trace.NewSliceStream(a), trace.NewSliceStream(b)})
+
+	for k := 0; k < 2; k++ {
+		act := actual.Cores[k].IPC
+		pred := res.Predicted[k]
+		relErr := math.Abs(pred-act) / act
+		t.Logf("program %d: actual co-run IPC %.3f, co-phase prediction %.3f (err %.1f%%)",
+			k, act, pred, 100*relErr)
+		if relErr > 0.25 {
+			t.Errorf("program %d: co-phase prediction off by %.1f%%", k, 100*relErr)
+		}
+	}
+	t.Logf("matrix cells simulated: %d x %d-instruction intervals vs %d+%d full instructions",
+		res.MatrixRuns, segLen, len(a), len(b))
+}
+
+// TestCoPhaseContentionVisible: a program co-running with a memory hog
+// must predict lower IPC than the same program co-running with an
+// L1-resident partner — the matrix must capture shared-resource conflict.
+func TestCoPhaseContentionVisible(t *testing.T) {
+	const segLen = 4000
+	victim := trace.Record(workload.New(workload.SPECByName("gcc"), 0, 1, 42), 4*segLen)
+	hog := trace.Record(workload.New(workload.SPECByName("swim"), 0, 1, 43), 4*segLen)
+	gentle := trace.Record(workload.New(workload.SPECByName("crafty"), 0, 1, 44), 4*segLen)
+	m := config.Default(2)
+
+	withHog, err := CoPhaseEstimate(victim, hog, CoPhaseConfig{
+		IntervalLen: segLen, K: 2, Seed: 9, Machine: m, Model: multicore.Interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withGentle, err := CoPhaseEstimate(victim, gentle, CoPhaseConfig{
+		IntervalLen: segLen, K: 2, Seed: 9, Machine: m, Model: multicore.Interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withHog.Predicted[0] >= withGentle.Predicted[0] {
+		t.Fatalf("victim IPC with memory hog (%.3f) not lower than with gentle partner (%.3f)",
+			withHog.Predicted[0], withGentle.Predicted[0])
+	}
+}

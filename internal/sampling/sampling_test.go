@@ -1,0 +1,139 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestInvalidRegimes(t *testing.T) {
+	p := workload.SPECByName("gzip")
+	src := workload.New(p, 0, 1, 42)
+	for _, cfg := range []Config{
+		{Unit: 0, Period: 100, Machine: config.Default(1)},
+		{Unit: 100, Period: 50, Machine: config.Default(1)},
+		{Unit: 100, Period: 1000, Machine: config.Default(2)},
+	} {
+		cfg.Model = multicore.Interval
+		if _, err := Run(cfg, src, 1000); err == nil {
+			t.Errorf("regime %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSamplingRatio(t *testing.T) {
+	p := workload.SPECByName("gzip")
+	cfg := Config{Unit: 1_000, Period: 10_000, Model: multicore.Interval, Machine: config.Default(1)}
+	res, err := Run(cfg, workload.New(p, 0, 1, 42), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units < 15 || res.Units > 25 {
+		t.Fatalf("units = %d, want ~20", res.Units)
+	}
+	if r := res.Ratio(); r < 0.05 || r > 0.15 {
+		t.Fatalf("timed ratio = %.3f, want ~0.10", r)
+	}
+	if res.SampledIPC <= 0 {
+		t.Fatal("no IPC estimate")
+	}
+}
+
+// TestContiguousSamplingMatchesFull: with Unit == Period the harness times
+// every instruction, so it must agree with the ordinary full run up to
+// per-unit boundary effects (pipeline restart, trailing drain).
+func TestContiguousSamplingMatchesFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	p := workload.SPECByName("gcc")
+	m := config.Default(1)
+	total := 200_000
+
+	full := multicore.Run(multicore.RunConfig{
+		Machine: m, Model: multicore.Interval,
+	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), total)})
+
+	res, err := Run(Config{Unit: 20_000, Period: 20_000,
+		Model: multicore.Interval, Machine: m},
+		workload.New(p, 0, 1, 42), total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := metrics.RelError(full.Cores[0].IPC, res.SampledIPC)
+	t.Logf("full IPC=%.3f contiguous-sampled IPC=%.3f err=%.1f%%",
+		full.Cores[0].IPC, res.SampledIPC, 100*e)
+	// Boundary effects: each unit restarts the pipeline and pays its own
+	// trailing miss drains.
+	if e > 0.10 {
+		t.Fatalf("contiguous sampling off by %.1f%%", 100*e)
+	}
+}
+
+// TestSampledTracksFull: periodic sampling at 50%% coverage lands near the
+// full run. The synthetic benchmarks have genuine program phases, so the
+// tolerance reflects sampling variance, not harness error.
+func TestSampledTracksFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	p := workload.SPECByName("mesa")
+	m := config.Default(1)
+	total := 400_000
+
+	full := multicore.Run(multicore.RunConfig{
+		Machine: m, Model: multicore.Interval,
+	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), total)})
+
+	res, err := Run(Config{Unit: 10_000, Period: 20_000,
+		Model: multicore.Interval, Machine: m},
+		workload.New(p, 0, 1, 42), total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := metrics.RelError(full.Cores[0].IPC, res.SampledIPC)
+	t.Logf("full IPC=%.3f sampled IPC=%.3f (%.0f%% timed) err=%.1f%%",
+		full.Cores[0].IPC, res.SampledIPC, 100*res.Ratio(), 100*e)
+	if e > 0.25 {
+		t.Fatalf("sampled estimate off by %.1f%%", 100*e)
+	}
+}
+
+// TestSamplingComposesWithBothModels: sampling works over either core
+// model, demonstrating the orthogonality the paper claims.
+func TestSamplingComposesWithBothModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	p := workload.SPECByName("mesa")
+	m := config.Default(1)
+	var ipcs []float64
+	for _, model := range []multicore.Model{multicore.Detailed, multicore.Interval} {
+		res, err := Run(Config{Unit: 2_000, Period: 10_000, Model: model, Machine: m},
+			workload.New(p, 0, 1, 42), 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipcs = append(ipcs, res.SampledIPC)
+	}
+	if e := metrics.RelError(ipcs[0], ipcs[1]); e > 0.25 {
+		t.Fatalf("sampled detailed vs interval diverge %.1f%%", 100*e)
+	}
+}
+
+func TestStreamEndsEarly(t *testing.T) {
+	p := workload.SPECByName("gzip")
+	cfg := Config{Unit: 1_000, Period: 5_000, Model: multicore.Interval, Machine: config.Default(1)}
+	// Ask for more instructions than the stream holds.
+	res, err := Run(cfg, trace.NewLimit(workload.New(p, 0, 1, 42), 12_000), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalInsts > 12_000 {
+		t.Fatalf("consumed %d from a 12k stream", res.TotalInsts)
+	}
+}

@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestNullSyncerAlwaysProceeds(t *testing.T) {
+	var s NullSyncer
+	for _, class := range []isa.Class{isa.BarrierArrive, isa.LockAcquire, isa.LockRelease} {
+		in := isa.Inst{Class: class, SyncID: 3}
+		d := s.Sync(0, &in, 100)
+		if !d.Proceed {
+			t.Fatalf("%v blocked by NullSyncer", class)
+		}
+		if d.Latency <= 0 {
+			t.Fatalf("%v has non-positive latency %d", class, d.Latency)
+		}
+	}
+}

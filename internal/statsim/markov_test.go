@@ -1,0 +1,106 @@
+package statsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMarkovLeaveRatesIdentities checks the closed form: a two-state
+// chain with the derived leave rates has the requested stationary taken
+// probability and repeat rate (measured empirically over a long run).
+func TestMarkovLeaveRatesIdentities(t *testing.T) {
+	cases := []struct{ taken, repeat float64 }{
+		{0.6, 0.8},
+		{0.5, 0.9},
+		{0.3, 0.7},
+		{0.85, 0.85},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range cases {
+		lt, ln := markovLeaveRates(c.taken, c.repeat)
+		state := rng.Float64() < c.taken
+		var taken, repeats, n float64
+		const steps = 400_000
+		for i := 0; i < steps; i++ {
+			prev := state
+			leave := lt
+			if !state {
+				leave = ln
+			}
+			if rng.Float64() < leave {
+				state = !state
+			}
+			n++
+			if state {
+				taken++
+			}
+			if state == prev {
+				repeats++
+			}
+		}
+		if got := taken / n; got < c.taken-0.02 || got > c.taken+0.02 {
+			t.Errorf("taken=%.2f repeat=%.2f: measured taken rate %.3f", c.taken, c.repeat, got)
+		}
+		if got := repeats / n; got < c.repeat-0.02 || got > c.repeat+0.02 {
+			t.Errorf("taken=%.2f repeat=%.2f: measured repeat rate %.3f", c.taken, c.repeat, got)
+		}
+	}
+}
+
+func TestMarkovLeaveRatesDegenerate(t *testing.T) {
+	for _, tkn := range []float64{0, 1} {
+		lt, ln := markovLeaveRates(tkn, 0.5)
+		if lt != 0 || ln != 0 {
+			t.Fatalf("degenerate taken=%v gave leave rates %v/%v", tkn, lt, ln)
+		}
+	}
+}
+
+// Property: leave rates are always valid probabilities.
+func TestMarkovLeaveRatesBounded(t *testing.T) {
+	f := func(a, b uint8) bool {
+		taken := float64(a%101) / 100
+		repeat := float64(b%101) / 100
+		lt, ln := markovLeaveRates(taken, repeat)
+		return lt >= 0 && lt <= 1 && ln >= 0 && ln <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cdf outputs are monotone non-decreasing and end at 1.
+func TestCDFProperty(t *testing.T) {
+	f := func(counts []uint64) bool {
+		if len(counts) == 0 {
+			return true
+		}
+		for i := range counts {
+			counts[i] %= 1 << 40 // avoid float saturation
+		}
+		out := cdf(counts)
+		prev := 0.0
+		for _, v := range out {
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return out[len(out)-1] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sample always returns a valid index.
+func TestSampleInRange(t *testing.T) {
+	p := Collect(specStream("gcc", 5000, 42), 0)
+	c := NewClone(p, 1, 3)
+	for i := 0; i < 10_000; i++ {
+		if got := c.sample(c.classCDF); got < 0 || got >= len(c.classCDF) {
+			t.Fatalf("sample returned %d for %d-entry cdf", got, len(c.classCDF))
+		}
+	}
+}

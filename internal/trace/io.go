@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary trace format: a magic header followed by fixed-width little-endian
+// instruction records. Recording a generated stream lets an experiment be
+// replayed exactly (e.g. feeding the identical committed stream to an
+// external tool, or rerunning a timing study without regenerating), which
+// is the natural workflow for a functional-first simulator.
+
+const (
+	traceMagic   = uint32(0x49564c53) // "SLVI"
+	traceVersion = uint32(1)
+	recordBytes  = 8 + 8 + 1 + 1 + 1 + 1 + 8 + 1 + 8 + 2 // fields below
+)
+
+// WriteTrace drains src to w in binary format, writing at most n
+// instructions. It returns the number written.
+func WriteTrace(w io.Writer, src Stream, n int) (int, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("trace: writing header: %w", err)
+	}
+	var rec [recordBytes]byte
+	written := 0
+	for written < n {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		encode(&rec, &in)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return written, fmt.Errorf("trace: writing record %d: %w", written, err)
+		}
+		written++
+	}
+	return written, bw.Flush()
+}
+
+func encode(rec *[recordBytes]byte, in *isa.Inst) {
+	binary.LittleEndian.PutUint64(rec[0:], in.Seq)
+	binary.LittleEndian.PutUint64(rec[8:], in.PC)
+	rec[16] = uint8(in.Class)
+	rec[17] = in.Src1
+	rec[18] = in.Src2
+	rec[19] = in.Dst
+	binary.LittleEndian.PutUint64(rec[20:], in.Addr)
+	if in.Taken {
+		rec[28] = 1
+	} else {
+		rec[28] = 0
+	}
+	binary.LittleEndian.PutUint64(rec[29:], in.Target)
+	binary.LittleEndian.PutUint16(rec[37:], in.SyncID)
+}
+
+func decode(rec *[recordBytes]byte) isa.Inst {
+	return isa.Inst{
+		Seq:    binary.LittleEndian.Uint64(rec[0:]),
+		PC:     binary.LittleEndian.Uint64(rec[8:]),
+		Class:  isa.Class(rec[16]),
+		Src1:   rec[17],
+		Src2:   rec[18],
+		Dst:    rec[19],
+		Addr:   binary.LittleEndian.Uint64(rec[20:]),
+		Taken:  rec[28] == 1,
+		Target: binary.LittleEndian.Uint64(rec[29:]),
+		SyncID: binary.LittleEndian.Uint16(rec[37:]),
+	}
+}
+
+// Reader replays a binary trace from an io.Reader. It implements Stream.
+type Reader struct {
+	br  *bufio.Reader
+	err error
+}
+
+// NewReader validates the trace header and returns a replaying Stream.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next implements Stream.
+func (r *Reader) Next() (isa.Inst, bool) {
+	if r.err != nil {
+		return isa.Inst{}, false
+	}
+	var rec [recordBytes]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		r.err = err
+		return isa.Inst{}, false
+	}
+	return decode(&rec), true
+}
+
+// Err returns the terminal error, nil on clean EOF.
+func (r *Reader) Err() error {
+	if r.err == io.EOF {
+		return nil
+	}
+	return r.err
+}

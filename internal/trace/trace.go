@@ -1,0 +1,104 @@
+// Package trace defines the dynamic-instruction-stream plumbing between the
+// functional simulator (the workload generator) and the timing models. The
+// paper's framework is functional-first: a functional simulator produces
+// the committed instruction stream, which is then fed to the timing
+// simulator; this package is that interface.
+package trace
+
+import "repro/internal/isa"
+
+// Stream produces a thread's dynamic instruction stream in program order.
+type Stream interface {
+	// Next returns the next dynamic instruction. ok is false at the end
+	// of the stream; the instruction is then meaningless.
+	Next() (in isa.Inst, ok bool)
+}
+
+// SliceStream replays a fixed slice of instructions (test helper and
+// building block for recorded traces).
+type SliceStream struct {
+	insts []isa.Inst
+	pos   int
+}
+
+// NewSliceStream wraps insts in a Stream.
+func NewSliceStream(insts []isa.Inst) *SliceStream {
+	return &SliceStream{insts: insts}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (isa.Inst, bool) {
+	if s.pos >= len(s.insts) {
+		return isa.Inst{}, false
+	}
+	in := s.insts[s.pos]
+	s.pos++
+	return in, true
+}
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Record drains up to n instructions from src into a slice, so one
+// generated stream can be replayed into several simulators.
+func Record(src Stream, n int) []isa.Inst {
+	out := make([]isa.Inst, 0, n)
+	for len(out) < n {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// Limit wraps a stream and ends it after n instructions.
+type Limit struct {
+	src  Stream
+	left int
+}
+
+// NewLimit creates a stream that yields at most n instructions from src.
+func NewLimit(src Stream, n int) *Limit { return &Limit{src: src, left: n} }
+
+// Next implements Stream.
+func (l *Limit) Next() (isa.Inst, bool) {
+	if l.left <= 0 {
+		return isa.Inst{}, false
+	}
+	in, ok := l.src.Next()
+	if ok {
+		l.left--
+	}
+	return in, ok
+}
+
+// Stats accumulates simple class statistics over a stream (test and
+// reporting helper).
+type Stats struct {
+	Total    uint64
+	ByClass  [isa.NumClasses]uint64
+	Branches uint64
+	Memory   uint64
+}
+
+// Observe updates the statistics with one instruction.
+func (st *Stats) Observe(in *isa.Inst) {
+	st.Total++
+	st.ByClass[in.Class]++
+	if in.Class.IsBranch() {
+		st.Branches++
+	}
+	if in.Class.IsMem() {
+		st.Memory++
+	}
+}
+
+// Frac returns the fraction of instructions of class c.
+func (st *Stats) Frac(c isa.Class) float64 {
+	if st.Total == 0 {
+		return 0
+	}
+	return float64(st.ByClass[c]) / float64(st.Total)
+}

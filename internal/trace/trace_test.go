@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func insts(n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	for i := range out {
+		out[i] = isa.Inst{Seq: uint64(i), Class: isa.IntALU}
+	}
+	return out
+}
+
+func TestSliceStreamReplaysInOrder(t *testing.T) {
+	s := NewSliceStream(insts(5))
+	for i := 0; i < 5; i++ {
+		in, ok := s.Next()
+		if !ok || in.Seq != uint64(i) {
+			t.Fatalf("pos %d: (%v,%t)", i, in.Seq, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+	s.Reset()
+	if in, ok := s.Next(); !ok || in.Seq != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestLimitEndsEarly(t *testing.T) {
+	s := NewLimit(NewSliceStream(insts(10)), 3)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("limit yielded %d, want 3", n)
+	}
+}
+
+func TestLimitShorterSource(t *testing.T) {
+	s := NewLimit(NewSliceStream(insts(2)), 5)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("limit yielded %d, want 2 (source shorter)", n)
+	}
+}
+
+func TestRecord(t *testing.T) {
+	got := Record(NewSliceStream(insts(10)), 4)
+	if len(got) != 4 || got[3].Seq != 3 {
+		t.Fatalf("record = %d insts", len(got))
+	}
+	got = Record(NewSliceStream(insts(2)), 4)
+	if len(got) != 2 {
+		t.Fatalf("record past end = %d insts", len(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	var st Stats
+	items := []isa.Inst{
+		{Class: isa.Load}, {Class: isa.Store}, {Class: isa.Branch},
+		{Class: isa.Call}, {Class: isa.IntALU}, {Class: isa.IntALU},
+	}
+	for i := range items {
+		st.Observe(&items[i])
+	}
+	if st.Total != 6 || st.Memory != 2 || st.Branches != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.Frac(isa.IntALU); got != 2.0/6 {
+		t.Fatalf("Frac = %v", got)
+	}
+	var empty Stats
+	if empty.Frac(isa.Load) != 0 {
+		t.Fatal("Frac on empty stats nonzero")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	src := []isa.Inst{
+		{Seq: 0, PC: 0x400000, Class: isa.IntALU, Src1: 3, Src2: isa.RegNone, Dst: 9},
+		{Seq: 1, PC: 0x400004, Class: isa.Load, Addr: 0x123456789A, Src1: 9, Src2: isa.RegNone, Dst: 10},
+		{Seq: 2, PC: 0x400008, Class: isa.Branch, Taken: true, Target: 0x400100},
+		{Seq: 3, PC: 0x40000C, Class: isa.LockAcquire, SyncID: 7},
+	}
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, NewSliceStream(src), 10)
+	if err != nil || n != 4 {
+		t.Fatalf("WriteTrace = (%d,%v)", n, err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range src {
+		got, ok := r.Next()
+		if !ok || got != want {
+			t.Fatalf("record %d: got %+v want %+v (ok=%t)", i, got, want, ok)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("trace did not end")
+	}
+	if r.Err() != nil {
+		t.Fatalf("terminal error: %v", r.Err())
+	}
+}
+
+func TestTraceBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTraceLimitsWrites(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, NewSliceStream(insts(100)), 7)
+	if err != nil || n != 7 {
+		t.Fatalf("WriteTrace = (%d,%v), want 7", n, err)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary instruction records.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	f := func(seq, pc, addr, target uint64, class, s1, s2, d uint8, taken bool, id uint16) bool {
+		in := isa.Inst{
+			Seq: seq, PC: pc, Class: isa.Class(class % uint8(isa.NumClasses)),
+			Src1: s1, Src2: s2, Dst: d, Addr: addr, Taken: taken,
+			Target: target, SyncID: id,
+		}
+		var buf bytes.Buffer
+		if n, err := WriteTrace(&buf, NewSliceStream([]isa.Inst{in}), 1); n != 1 || err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := r.Next()
+		return ok && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,715 @@
+package workload
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Static-program machinery: a Profile expands into a synthetic control-flow
+// graph (functions of basic blocks with loop/biased/random branch sites and
+// call edges). The generator then *interprets* this CFG, so instruction PCs
+// repeat exactly the way real code repeats — hot loops touch few I-cache
+// lines and train the branch predictor, cold paths do not.
+
+type siteKind uint8
+
+const (
+	siteLoop siteKind = iota
+	siteBiased
+	siteRandom
+)
+
+type branchSite struct {
+	kind   siteKind
+	trip   int     // loop trip count
+	prob   float64 // taken probability for biased/random sites
+	target int     // taken-target block index within the function
+	count  int     // dynamic state: iterations since last exit
+}
+
+type block struct {
+	startPC uint64
+	bodyLen int // instructions before the terminator
+	// Terminator: term==termCall jumps to callee; term==termRet pops;
+	// term==termBranch consults the site.
+	term   uint8
+	site   int // index into function's sites for termBranch
+	callee int // function index for termCall
+}
+
+const (
+	termBranch = iota
+	termCall
+	termRet
+)
+
+type function struct {
+	blocks []block
+	sites  []branchSite
+	entry  uint64 // entry PC
+}
+
+type program struct {
+	funcs    []function
+	codeSize uint64
+}
+
+// buildProgram synthesizes the static CFG for a profile. base is the code
+// base address; kernel programs live at a distant base so user and system
+// code do not share I-cache lines.
+func buildProgram(p *Profile, rng *fastRand, base uint64, funcs, blocksPerFunc int, blockLen float64) *program {
+	prog := &program{}
+	pc := base
+	for f := 0; f < funcs; f++ {
+		var fn function
+		for b := 0; b < blocksPerFunc; b++ {
+			bl := block{startPC: pc}
+			bl.bodyLen = 1 + geometric(rng, blockLen)
+			pc += uint64(bl.bodyLen+1) * 4
+
+			switch {
+			case b == blocksPerFunc-1:
+				bl.term = termRet
+			case funcs > 1 && rng.Float64() < callFrac(p):
+				bl.term = termCall
+				bl.callee = rng.Intn(funcs)
+			default:
+				bl.term = termBranch
+				bl.site = len(fn.sites)
+				fn.sites = append(fn.sites, makeSite(p, rng, b, blocksPerFunc))
+			}
+			fn.blocks = append(fn.blocks, bl)
+		}
+		fn.entry = fn.blocks[0].startPC
+		prog.funcs = append(prog.funcs, fn)
+	}
+	prog.codeSize = pc - base
+	return prog
+}
+
+// callFrac converts the profile's call mix into a per-block probability.
+func callFrac(p *Profile) float64 {
+	if p.Mix.Branch <= 0 {
+		return 0
+	}
+	return p.Mix.Call
+}
+
+func makeSite(p *Profile, rng *fastRand, blockIdx, nBlocks int) branchSite {
+	r := rng.Float64()
+	switch {
+	case r < p.LoopFrac && blockIdx > 0:
+		trip := 2 + geometric(rng, p.LoopTripMean)
+		// Back edge to a nearby earlier block.
+		back := blockIdx - 1 - rng.Intn(min(blockIdx, 4))
+		return branchSite{kind: siteLoop, trip: trip, target: back}
+	case r < p.LoopFrac+p.BiasedFrac:
+		return branchSite{kind: siteBiased, prob: p.BiasedProb, target: fwdTarget(rng, blockIdx, nBlocks)}
+	default:
+		return branchSite{kind: siteRandom, prob: p.RandomProb, target: fwdTarget(rng, blockIdx, nBlocks)}
+	}
+}
+
+func fwdTarget(rng *fastRand, blockIdx, nBlocks int) int {
+	if blockIdx+2 >= nBlocks {
+		return nBlocks - 1
+	}
+	return blockIdx + 1 + rng.Intn(nBlocks-blockIdx-1)
+}
+
+func geometric(rng *fastRand, mean float64) int {
+	if mean <= 1 {
+		return 0
+	}
+	// Inverse-transform sampling: one draw instead of a rejection loop
+	// (the generator sits on every simulated instruction's hot path).
+	u := rng.Float64()
+	if u <= 0 {
+		return 0
+	}
+	n := int(math.Log(u) / math.Log(1-1/mean))
+	if n < 0 {
+		n = 0
+	} else if n > 10000 {
+		n = 10000
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// staticSeed derives the static-program seed from the profile name, so the
+// synthetic "binary" is a property of the benchmark alone.
+func staticSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7FFFFFFFFFFFFFFF)
+}
+
+// fastRand is a splitmix64 PRNG. The generator sits on the hot path of
+// every simulated instruction in both timing models; math/rand's interface
+// indirection is measurable there.
+type fastRand struct{ s uint64 }
+
+func newFastRand(seed int64) *fastRand { return &fastRand{s: uint64(seed)} }
+
+func (r *fastRand) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *fastRand) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *fastRand) Intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *fastRand) Int63() int64 { return int64(r.next() >> 1) }
+
+// frame is one call-stack entry of the interpreter.
+type frame struct {
+	fn    int
+	block int
+}
+
+// regionState is the per-generator dynamic state of one working-set region.
+type regionState struct {
+	base   uint64
+	cursor uint64
+}
+
+// Generator interprets a profile's synthetic program and produces the
+// dynamic instruction stream of one thread. It implements trace.Stream and
+// is fully deterministic given (profile, thread, threads, seed).
+type Generator struct {
+	p         *Profile
+	rng       *fastRand
+	invLogDep float64 // 1/log(1-1/DepDistMean), precomputed
+	user      *program
+	kernel    *program
+	thread    int
+	threads   int
+
+	// Interpreter state.
+	inKernel  bool
+	kernLeft  int
+	cur       frame
+	kcur      frame
+	pos       int // next body instruction index within current block
+	callStack []frame
+	kstack    []frame
+
+	// Register dataflow state. Values are iteration-local: the ring is
+	// cleared on loop back-edges, and a designated accumulator register
+	// carries the serial loop-carried chain, mirroring the structure of
+	// real loop code (independent iterations plus accumulators).
+	seq      uint64
+	ring     [32]uint8 // recently written registers
+	ringLen  int
+	ringHead int
+	nextDst  uint8
+	lastLoad uint8 // dst register of the most recent load, RegNone if none
+
+	// Memory state.
+	regions    []regionState
+	regionCum  []float64 // cumulative probabilities
+	lastRegion int
+
+	// Serializing/system bookkeeping.
+	untilSerialize int
+
+	// Multi-threading bookkeeping.
+	budget       uint64 // remaining instructions; ^0 = unbounded
+	sinceBarrier uint64
+	barrierAt    uint64 // emit a barrier when sinceBarrier reaches this
+	untilLock    int
+	critLeft     int // >0 while inside a critical section
+	heldLock     uint16
+	pendingSync  []isa.Inst
+
+	// Statistics for tests.
+	Emitted uint64
+}
+
+// New creates the stream generator for one thread of a profile. threads is
+// the total thread count of the run (1 for single-threaded benchmarks);
+// seed selects the deterministic instance.
+func New(p *Profile, thread, threads int, seed int64) *Generator {
+	// The static program (CFG, branch sites, code layout) must be
+	// identical across threads AND across seeds: it is the benchmark's
+	// binary. Only the dynamic randomness (addresses, branch draws)
+	// varies with the seed, so a warmup stream with a different seed
+	// trains the same predictor sites and touches the same regions
+	// without replaying the exact future line sequence.
+	progRng := newFastRand(staticSeed(p.Name))
+	blockLen := p.BlockLenMean
+	if blockLen <= 0 {
+		if p.Mix.Branch > 0 {
+			blockLen = 1/p.Mix.Branch - 1
+		} else {
+			blockLen = 16
+		}
+	}
+	g := &Generator{
+		p:       p,
+		rng:     newFastRand(seed ^ int64(thread)*0x5E3779B97F4A7C15),
+		user:    buildProgram(p, progRng, 0x400000, p.Funcs, p.BlocksPerFunc, blockLen),
+		thread:  thread,
+		threads: threads,
+		nextDst: 8,
+		budget:  ^uint64(0),
+	}
+	if p.DepDistMean > 1 {
+		g.invLogDep = 1 / math.Log(1-1/p.DepDistMean)
+	}
+	g.lastLoad = isa.RegNone
+	if p.SystemFrac > 0 {
+		// Kernel code: one big function with many blocks, distant base.
+		g.kernel = buildProgram(p, progRng, 0x80000000, 2, 192, blockLen)
+	}
+	g.initRegions()
+	g.initSync()
+	g.untilSerialize = g.serializePeriod()
+	return g
+}
+
+func (g *Generator) initRegions() {
+	var cum float64
+	for i, r := range g.p.Regions {
+		base := uint64(0x10000000000) + uint64(i)<<34
+		if !r.Shared {
+			// Private regions are disjoint per thread.
+			base += uint64(g.thread+1) << 44
+		}
+		var cursor uint64
+		if r.Stride > 0 && r.Bytes > 0 {
+			// Start streaming at a seed-dependent offset so warmup
+			// and measurement do not walk identical lines.
+			cursor = (uint64(g.rng.Int63()) % (r.Bytes / r.Stride)) * r.Stride
+		}
+		g.regions = append(g.regions, regionState{base: base, cursor: cursor})
+		cum += r.Prob
+		g.regionCum = append(g.regionCum, cum)
+	}
+	// Normalize.
+	if cum > 0 {
+		for i := range g.regionCum {
+			g.regionCum[i] /= cum
+		}
+	}
+}
+
+func (g *Generator) initSync() {
+	p := g.p
+	if p.TotalWork > 0 && g.threads > 0 {
+		g.budget = g.shareOfWork()
+	}
+	if p.BarrierEvery > 0 {
+		g.barrierAt = g.scaledBarrierInterval()
+	}
+	if p.LockEvery > 0 && p.Locks > 0 {
+		g.untilLock = p.LockEvery/2 + g.rng.Intn(p.LockEvery)
+	}
+}
+
+// weights returns the per-thread relative work weights. With SerialFrac
+// set, thread 0 is a pipeline source stage holding a fixed fraction of the
+// total work; otherwise an Imbalance gradient skews the split.
+func (g *Generator) weights() []float64 {
+	w := make([]float64, g.threads)
+	T := g.threads
+	if T > 1 && g.p.SerialFrac > 0 {
+		w[0] = g.p.SerialFrac
+		for t := 1; t < T; t++ {
+			w[t] = (1 - g.p.SerialFrac) / float64(T-1)
+		}
+		return w
+	}
+	for t := 0; t < T; t++ {
+		w[t] = 1
+		if T > 1 && g.p.Imbalance > 0 {
+			w[t] = 1 + g.p.Imbalance*float64(t)/float64(T-1)
+		}
+	}
+	return w
+}
+
+// shareOfWork splits TotalWork among threads by weight, so the most loaded
+// thread limits scaling.
+func (g *Generator) shareOfWork() uint64 {
+	w := g.weights()
+	var sum float64
+	for _, f := range w {
+		sum += f
+	}
+	return uint64(float64(g.p.TotalWork) * w[g.thread] / sum)
+}
+
+// scaledBarrierInterval keeps the number of barriers equal across threads
+// despite imbalance, so barrier generations line up: each thread's
+// interval is proportional to its work weight.
+func (g *Generator) scaledBarrierInterval() uint64 {
+	w := g.weights()
+	var sum float64
+	for _, f := range w {
+		sum += f
+	}
+	avg := sum / float64(g.threads)
+	iv := uint64(float64(g.p.BarrierEvery) * w[g.thread] / avg)
+	if iv == 0 {
+		iv = 1
+	}
+	return iv
+}
+
+func (g *Generator) serializePeriod() int {
+	period := g.p.SerializeEvery
+	if g.inKernel {
+		period = 50 // system code serializes often
+	}
+	if period <= 0 {
+		return -1
+	}
+	return period/2 + g.rng.Intn(period+1)
+}
+
+// Next implements trace.Stream.
+func (g *Generator) Next() (isa.Inst, bool) {
+	if len(g.pendingSync) > 0 {
+		in := g.pendingSync[0]
+		g.pendingSync = g.pendingSync[1:]
+		in.Seq = g.seq
+		g.seq++
+		g.Emitted++
+		return in, true
+	}
+	if g.budget == 0 {
+		return isa.Inst{}, false
+	}
+	g.budget--
+
+	in := g.synthesize()
+	in.Seq = g.seq
+	g.seq++
+	g.Emitted++
+	g.accountSync(&in)
+	return in, true
+}
+
+// accountSync updates barrier/lock bookkeeping after emitting in and queues
+// any synchronization instructions that must follow.
+func (g *Generator) accountSync(in *isa.Inst) {
+	p := g.p
+	if p.BarrierEvery > 0 && g.budget > 0 {
+		g.sinceBarrier++
+		if g.sinceBarrier >= g.barrierAt && g.critLeft == 0 {
+			g.sinceBarrier = 0
+			g.pendingSync = append(g.pendingSync, isa.Inst{Class: isa.BarrierArrive})
+		}
+	}
+	if p.LockEvery > 0 && p.Locks > 0 {
+		if g.critLeft > 0 {
+			g.critLeft--
+			if g.critLeft == 0 {
+				g.pendingSync = append(g.pendingSync,
+					isa.Inst{Class: isa.LockRelease, SyncID: g.heldLock})
+			}
+		} else {
+			g.untilLock--
+			if g.untilLock <= 0 {
+				g.untilLock = p.LockEvery/2 + g.rng.Intn(p.LockEvery)
+				g.heldLock = uint16(g.rng.Intn(p.Locks))
+				g.critLeft = 1 + geometric(g.rng, p.CritLen)
+				g.pendingSync = append(g.pendingSync,
+					isa.Inst{Class: isa.LockAcquire, SyncID: g.heldLock})
+			}
+		}
+	}
+}
+
+// synthesize produces the next instruction from the CFG interpreter.
+func (g *Generator) synthesize() isa.Inst {
+	// Possibly enter or leave a system-code segment between blocks.
+	if g.kernel != nil && g.pos == 0 {
+		if g.inKernel {
+			if g.kernLeft <= 0 {
+				g.inKernel = false
+				g.untilSerialize = g.serializePeriod()
+			}
+		} else if g.rng.Float64() < g.p.SystemFrac/400 {
+			// Average segment of ~400 instructions gives an overall
+			// in-kernel fraction of about SystemFrac.
+			g.inKernel = true
+			g.kernLeft = 200 + geometric(g.rng, 400)
+			g.kcur = frame{fn: 0, block: 0}
+			g.untilSerialize = g.serializePeriod()
+		}
+	}
+
+	prog, cur := g.user, &g.cur
+	if g.inKernel {
+		prog, cur = g.kernel, &g.kcur
+		g.kernLeft--
+	}
+	fn := &prog.funcs[cur.fn]
+	bl := &fn.blocks[cur.block]
+
+	if g.pos < bl.bodyLen {
+		pc := bl.startPC + uint64(g.pos)*4
+		g.pos++
+		if g.untilSerialize == 0 {
+			g.untilSerialize = g.serializePeriod()
+			return isa.Inst{Class: isa.Serializing, PC: pc}
+		}
+		if g.untilSerialize > 0 {
+			g.untilSerialize--
+		}
+		return g.bodyInst(pc)
+	}
+
+	// Terminator.
+	pc := bl.startPC + uint64(bl.bodyLen)*4
+	g.pos = 0
+	switch bl.term {
+	case termCall:
+		stack := &g.callStack
+		if g.inKernel {
+			stack = &g.kstack
+		}
+		if len(*stack) < 64 {
+			*stack = append(*stack, frame{fn: cur.fn, block: g.nextBlock(prog, cur.fn, cur.block)})
+			cur.fn = bl.callee
+			cur.block = 0
+		} else {
+			cur.block = g.nextBlock(prog, cur.fn, cur.block)
+		}
+		return isa.Inst{
+			Class: isa.Call, PC: pc, Taken: true,
+			Target: prog.funcs[cur.fn].entry,
+			Src1:   g.pickSrc(), Src2: isa.RegNone, Dst: isa.RegNone,
+		}
+	case termRet:
+		stack := &g.callStack
+		if g.inKernel {
+			stack = &g.kstack
+		}
+		var target uint64
+		if len(*stack) > 0 {
+			f := (*stack)[len(*stack)-1]
+			*stack = (*stack)[:len(*stack)-1]
+			*cur = f
+		} else {
+			cur.block = 0 // outermost loop: restart the function
+		}
+		target = prog.funcs[cur.fn].blocks[cur.block].startPC
+		return isa.Inst{
+			Class: isa.Return, PC: pc, Taken: true, Target: target,
+			Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone,
+		}
+	default:
+		site := &fn.sites[bl.site]
+		taken := g.evalSite(site)
+		var target uint64
+		if taken {
+			if site.kind == siteLoop {
+				// New iteration: values of the previous iteration
+				// are dead; only the accumulator chain persists.
+				g.ringLen = 0
+			}
+			cur.block = site.target
+			target = fn.blocks[site.target].startPC
+		} else {
+			cur.block = g.nextBlock(prog, cur.fn, cur.block)
+			target = fn.blocks[cur.block].startPC
+		}
+		return isa.Inst{
+			Class: isa.Branch, PC: pc, Taken: taken, Target: target,
+			Src1: g.pickSrc(), Src2: isa.RegNone, Dst: isa.RegNone,
+		}
+	}
+}
+
+func (g *Generator) nextBlock(prog *program, fnIdx, blockIdx int) int {
+	if blockIdx+1 < len(prog.funcs[fnIdx].blocks) {
+		return blockIdx + 1
+	}
+	return 0
+}
+
+func (g *Generator) evalSite(s *branchSite) bool {
+	switch s.kind {
+	case siteLoop:
+		s.count++
+		if s.count < s.trip {
+			return true
+		}
+		s.count = 0
+		return false
+	case siteBiased:
+		return g.rng.Float64() < s.prob
+	default:
+		return g.rng.Float64() < s.prob
+	}
+}
+
+// bodyInst synthesizes one non-control instruction at pc according to the
+// mix.
+// accumReg is the loop-carried accumulator register.
+const accumReg = 7
+
+func (g *Generator) bodyInst(pc uint64) isa.Inst {
+	if g.p.ChainFrac > 0 && g.rng.Float64() < g.p.ChainFrac {
+		// Extend the loop-carried chain: acc = f(acc, recent value).
+		// Floating-point codes accumulate through the FP pipeline
+		// (reductions, recurrences), integer codes through the ALU.
+		class := isa.IntALU
+		if g.p.Mix.FP >= 0.25 {
+			class = isa.FPOp
+		}
+		return isa.Inst{
+			Class: class, PC: pc,
+			Src1: accumReg, Src2: g.pickSrc(), Dst: accumReg,
+		}
+	}
+	m := &g.p.Mix
+	nonBranch := m.IntALU + m.IntMul + m.IntDiv + m.FP + m.Load + m.Store
+	r := g.rng.Float64() * nonBranch
+	switch {
+	case r < m.Load:
+		return g.loadInst(pc)
+	case r < m.Load+m.Store:
+		return g.storeInst(pc)
+	case r < m.Load+m.Store+m.IntMul:
+		return g.aluInst(pc, isa.IntMul)
+	case r < m.Load+m.Store+m.IntMul+m.IntDiv:
+		return g.aluInst(pc, isa.IntDiv)
+	case r < m.Load+m.Store+m.IntMul+m.IntDiv+m.FP:
+		return g.aluInst(pc, isa.FPOp)
+	default:
+		return g.aluInst(pc, isa.IntALU)
+	}
+}
+
+func (g *Generator) aluInst(pc uint64, class isa.Class) isa.Inst {
+	in := isa.Inst{
+		Class: class, PC: pc,
+		Src1: g.pickSrc(), Src2: g.pickSrc(),
+		Dst: g.allocDst(),
+	}
+	return in
+}
+
+func (g *Generator) loadInst(pc uint64) isa.Inst {
+	chase := g.lastLoad != isa.RegNone && g.rng.Float64() < g.p.PointerChase
+	addr, strided := g.pickAddr(chase)
+	var src1 uint8
+	switch {
+	case chase:
+		// Pointer chase: address depends on the previous load.
+		src1 = g.lastLoad
+	case strided:
+		// Streaming access: the address comes from an induction
+		// variable, long since computed — independent of recent
+		// results, which is what gives streaming codes their MLP.
+		src1 = uint8(g.rng.Intn(8))
+	default:
+		src1 = g.pickSrc()
+	}
+	// Shared regions with a write fraction convert some of their
+	// accesses into stores (coherence/invalidation traffic).
+	if spec := &g.p.Regions[g.lastRegion]; spec.WriteFrac > 0 &&
+		g.rng.Float64() < spec.WriteFrac {
+		return isa.Inst{
+			Class: isa.Store, PC: pc, Addr: addr,
+			Src1: src1, Src2: g.pickSrc(), Dst: isa.RegNone,
+		}
+	}
+	dst := g.allocDst()
+	g.lastLoad = dst
+	return isa.Inst{
+		Class: isa.Load, PC: pc, Addr: addr,
+		Src1: src1, Src2: isa.RegNone, Dst: dst,
+	}
+}
+
+func (g *Generator) storeInst(pc uint64) isa.Inst {
+	addr, _ := g.pickAddr(false)
+	return isa.Inst{
+		Class: isa.Store, PC: pc, Addr: addr,
+		Src1: g.pickSrc(), Src2: g.pickSrc(), Dst: isa.RegNone,
+	}
+}
+
+// pickAddr chooses an effective address. chase keeps the access in the same
+// region as the previous load (dependent pointer walk). strided reports
+// whether the chosen region is a streaming region.
+func (g *Generator) pickAddr(chase bool) (addr uint64, strided bool) {
+	if len(g.regions) == 0 {
+		return 0x10000000000, false
+	}
+	idx := 0
+	if !chase {
+		r := g.rng.Float64()
+		for idx < len(g.regionCum)-1 && r >= g.regionCum[idx] {
+			idx++
+		}
+	} else {
+		idx = g.lastRegion
+	}
+	g.lastRegion = idx
+	reg := &g.regions[idx]
+	spec := &g.p.Regions[idx]
+	size := spec.Bytes
+	if size < 64 {
+		size = 64
+	}
+	var off uint64
+	if spec.Stride > 0 {
+		reg.cursor = (reg.cursor + spec.Stride) % size
+		off = reg.cursor
+	} else {
+		off = (uint64(g.rng.Int63())%(size/64))*64 + uint64(g.rng.Intn(8))*8
+	}
+	return reg.base + off, spec.Stride > 0
+}
+
+// pickSrc picks a source register with a geometric dependence distance over
+// recently written registers.
+func (g *Generator) pickSrc() uint8 {
+	if g.ringLen == 0 {
+		return uint8(g.rng.Intn(8)) // ambient value
+	}
+	var d int
+	if g.invLogDep != 0 {
+		if u := g.rng.Float64(); u > 0 {
+			d = int(math.Log(u) * g.invLogDep)
+		}
+	}
+	if d >= g.ringLen {
+		return uint8(g.rng.Intn(8))
+	}
+	idx := (g.ringHead - 1 - d + 2*len(g.ring)) % len(g.ring)
+	return g.ring[idx]
+}
+
+func (g *Generator) allocDst() uint8 {
+	dst := g.nextDst
+	g.nextDst++
+	if g.nextDst >= isa.NumRegs {
+		g.nextDst = 8
+	}
+	g.ring[g.ringHead] = dst
+	g.ringHead = (g.ringHead + 1) % len(g.ring)
+	if g.ringLen < len(g.ring) {
+		g.ringLen++
+	}
+	return dst
+}

@@ -1,0 +1,141 @@
+package workload
+
+// PARSEC-like multi-threaded full-system profiles. Each profile fixes a
+// total work budget that is divided among the run's threads (one thread per
+// core, as in the paper), so good parallel structure shows up as shorter
+// execution time with more cores. Synchronization structure (barriers,
+// locks, imbalance), sharing and the system-code fraction are chosen to
+// match the benchmarks' published characterizations qualitatively.
+
+// parsecBase fills the control-flow defaults shared by the PARSEC-like
+// profiles. All run "full-system": a nonzero SystemFrac adds kernel-code
+// segments rich in serializing instructions and cold I-cache footprint.
+func parsecBase(p Profile) Profile {
+	if p.Funcs == 0 {
+		p.Funcs = 32
+	}
+	if p.BlocksPerFunc == 0 {
+		p.BlocksPerFunc = 24
+	}
+	if p.LoopTripMean == 0 {
+		p.LoopTripMean = 24
+	}
+	if p.BiasedProb == 0 {
+		p.BiasedProb = 0.93
+	}
+	if p.RandomProb == 0 {
+		p.RandomProb = 0.5
+	}
+	if p.SystemFrac == 0 {
+		p.SystemFrac = 0.08
+	}
+	if p.SerializeEvery == 0 {
+		p.SerializeEvery = 20000
+	}
+	if p.TotalWork == 0 {
+		p.TotalWork = 800_000
+	}
+	if p.ChainFrac == 0 {
+		p.ChainFrac = 0.05
+	}
+	return p
+}
+
+// PARSEC returns the 9 PARSEC-like profiles used in Figures 7, 8 and 10.
+func PARSEC() []Profile {
+	ps := []Profile{
+		{
+			// Embarrassingly parallel option pricing: scales nearly
+			// linearly, tiny working set, barriers only.
+			Name: "blackscholes", Mix: fpMix(0.05), DepDistMean: 5,
+			Regions:  []Region{{Bytes: wsL1, Prob: 0.96}, {Bytes: wsL2, Prob: 0.03}, {Bytes: wsL2, Prob: 0.01, Shared: true, WriteFrac: 0.05}},
+			LoopFrac: 0.7, BiasedFrac: 0.25,
+			BarrierEvery: 100_000,
+		},
+		{
+			// Computer-vision pipeline: scales well, moderate locks.
+			Name: "bodytrack", Mix: Mix{IntALU: 0.34, IntMul: 0.02, FP: 0.22, Load: 0.26, Store: 0.08, Branch: 0.08, Call: 0.06},
+			DepDistMean: 4,
+			Regions:     []Region{{Bytes: wsL1, Prob: 0.93}, {Bytes: wsL2, Prob: 0.05}, {Bytes: wsL2, Prob: 0.02, Shared: true, WriteFrac: 0.2}},
+			LoopFrac:    0.5, BiasedFrac: 0.35,
+			BarrierEvery: 50_000, Locks: 16, LockEvery: 4000, CritLen: 12,
+		},
+		{
+			// Simulated annealing over a huge netlist: cache-hungry,
+			// heavy sharing with writes — coherence traffic.
+			Name: "canneal", Mix: intMix(0.10), DepDistMean: 3,
+			Regions:      []Region{{Bytes: wsL1, Prob: 0.72}, {Bytes: wsHuge, Prob: 0.18}, {Bytes: wsBig, Prob: 0.10, Shared: true, WriteFrac: 0.3}},
+			PointerChase: 0.4,
+			LoopFrac:     0.4, BiasedFrac: 0.35,
+			BarrierEvery: 200_000, Locks: 64, LockEvery: 8000, CritLen: 6,
+		},
+		{
+			// Pipelined deduplication: locks around hash tables,
+			// moderate scaling.
+			Name: "dedup", Mix: intMix(0.11), DepDistMean: 4,
+			Regions:  []Region{{Bytes: wsL1, Prob: 0.91}, {Bytes: wsBig, Prob: 0.05, Stride: 8}, {Bytes: wsL2, Prob: 0.04, Shared: true, WriteFrac: 0.25}},
+			LoopFrac: 0.5, BiasedFrac: 0.44, BiasedProb: 0.96, RandomProb: 0.4,
+			Locks: 32, LockEvery: 3000, CritLen: 20, BarrierEvery: 150_000,
+			SerialFrac: 0.18,
+		},
+		{
+			// Fine-grained lock-per-cell fluid dynamics: very frequent
+			// small critical sections — the paper's worst case (11%).
+			Name: "fluidanimate", Mix: fpMix(0.05), DepDistMean: 4,
+			Regions:  []Region{{Bytes: wsL1, Prob: 0.92}, {Bytes: wsL2, Prob: 0.05}, {Bytes: wsL2, Prob: 0.03, Shared: true, WriteFrac: 0.35}},
+			LoopFrac: 0.6, BiasedFrac: 0.3,
+			Locks: 256, LockEvery: 600, CritLen: 6, BarrierEvery: 60_000,
+		},
+		{
+			// Streaming k-means clustering: bandwidth-bound with
+			// frequent barriers; scales until the bus saturates.
+			Name: "streamcluster", Mix: fpMix(0.03), DepDistMean: 6,
+			Regions:  []Region{{Bytes: wsL1, Prob: 0.70}, {Bytes: wsHuge, Prob: 0.25, Stride: 8}, {Bytes: wsL2, Prob: 0.05, Shared: true, WriteFrac: 0.1}},
+			LoopFrac: 0.8, BiasedFrac: 0.15, LoopTripMean: 64,
+			BarrierEvery: 25_000,
+		},
+		{
+			// Monte-Carlo swaption pricing: fully parallel compute,
+			// negligible communication — near-linear scaling.
+			Name: "swaptions", Mix: fpMix(0.04), DepDistMean: 6,
+			Regions:  []Region{{Bytes: wsL1, Prob: 0.97}, {Bytes: wsL2, Prob: 0.03}},
+			LoopFrac: 0.7, BiasedFrac: 0.25, LoopTripMean: 40,
+			BarrierEvery: 400_000,
+		},
+		{
+			// Image pipeline with severe load imbalance: the paper
+			// highlights that performance does not improve with cores.
+			Name: "vips", Mix: Mix{IntALU: 0.38, IntMul: 0.03, FP: 0.14, Load: 0.26, Store: 0.09, Branch: 0.10, Call: 0.07},
+			DepDistMean: 4,
+			Regions:     []Region{{Bytes: wsL1, Prob: 0.90}, {Bytes: wsBig, Prob: 0.08, Stride: 8}, {Bytes: wsL2, Prob: 0.02, Shared: true, WriteFrac: 0.15}},
+			LoopFrac:    0.55, BiasedFrac: 0.35,
+			BarrierEvery: 20_000, SerialFrac: 0.45,
+			Locks: 8, LockEvery: 6000, CritLen: 30,
+		},
+		{
+			// Video encoding: pipeline parallelism, moderate scaling,
+			// some sharing between worker threads.
+			Name: "x264", Mix: Mix{IntALU: 0.42, IntMul: 0.04, FP: 0.06, Load: 0.27, Store: 0.10, Branch: 0.09, Call: 0.05},
+			DepDistMean: 4.5,
+			Regions:     []Region{{Bytes: wsL1, Prob: 0.93}, {Bytes: wsBig, Prob: 0.04, Stride: 8}, {Bytes: wsL2, Prob: 0.03, Shared: true, WriteFrac: 0.2}},
+			LoopFrac:    0.55, BiasedFrac: 0.42, BiasedProb: 0.96, RandomProb: 0.4,
+			BarrierEvery: 80_000, SerialFrac: 0.25,
+			Locks: 16, LockEvery: 5000, CritLen: 15,
+		},
+	}
+	for i := range ps {
+		ps[i] = parsecBase(ps[i])
+	}
+	return ps
+}
+
+// PARSECByName returns the named profile, or nil.
+func PARSECByName(name string) *Profile {
+	for _, p := range PARSEC() {
+		if p.Name == name {
+			q := p
+			return &q
+		}
+	}
+	return nil
+}
