@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
@@ -26,6 +27,7 @@ func main() {
 		insts  = flag.Int("insts", 0, "override per-thread instruction budget")
 		warmup = flag.Int("warmup", 0, "override functional-warmup length")
 		seed   = flag.Int64("seed", 0, "override workload seed")
+		jobs   = flag.Int("j", 1, "host worker goroutines for independent runs (0 = all host cores; figures 9/10 stay sequential)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,10 @@ func main() {
 	}
 	if *seed != 0 {
 		opts.Seed = *seed
+	}
+	opts.Jobs = *jobs
+	if *jobs == 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
 	}
 
 	switch {

@@ -11,22 +11,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/multicore"
 	"repro/internal/report"
-	"repro/internal/trace"
+	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		bench  = flag.String("bench", "", "benchmark profile name")
-		model  = flag.String("model", "interval", "core model: interval, detailed, oneipc")
+		model  = flag.String("model", "interval", "core model: "+strings.Join(simrun.Models(), ", "))
 		cores  = flag.Int("cores", 1, "cores (threads for PARSEC profiles)")
 		copies = flag.Int("copies", 0, "run N copies of a SPEC profile (multi-program)")
 		insts  = flag.Int("insts", 100_000, "per-thread instruction budget for SPEC profiles")
@@ -39,7 +39,7 @@ func main() {
 		fabric    = flag.String("fabric", "bus", "on-chip interconnect: bus, mesh, ring")
 		coherence = flag.String("coherence", "moesi", "coherence protocol: moesi, mesi, directory")
 		dram      = flag.String("dram", "fixed", "main-memory model: fixed, banked")
-		prefetch  = flag.String("prefetch", "", "prefetcher: none, nextline, stride")
+		prefetch  = flag.String("prefetch", "none", "prefetcher: none, nextline, stride")
 		predictor = flag.String("predictor", "local", "direction predictor: local, gshare, bimodal, tournament, tage, perfect")
 	)
 	flag.Parse()
@@ -59,80 +59,52 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	var mdl multicore.Model
-	switch *model {
-	case "interval":
-		mdl = multicore.Interval
-	case "detailed":
-		mdl = multicore.Detailed
-	case "oneipc":
-		mdl = multicore.OneIPC
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		os.Exit(2)
-	}
-
-	n := *cores
-	if *copies > 0 {
-		n = *copies
-	}
-	machine := config.Default(n)
-	if *fabric != "bus" {
-		machine.Mem.Interconnect = *fabric
-	}
-	if *coherence != "moesi" {
-		machine.Mem.Coherence = *coherence
-	}
-	if *dram == "banked" {
-		machine.Mem.DRAMKind = "banked"
-	}
-	if *prefetch != "" && *prefetch != "none" {
-		machine.Mem.Prefetch = *prefetch
-		machine.Mem.PrefetchDegree = 2
-	}
-	if *predictor != "local" {
-		machine.Branch.Kind = *predictor
-	}
-
-	var streams, warm []trace.Stream
-	if p := workload.SPECByName(*bench); p != nil {
-		for i := 0; i < n; i++ {
-			streams = append(streams, trace.NewLimit(workload.New(p, i, n, *seed), *insts))
-			warm = append(warm, workload.New(p, i, n, *seed+1000))
-		}
-	} else if p := workload.PARSECByName(*bench); p != nil {
-		for i := 0; i < n; i++ {
-			streams = append(streams, workload.New(p, i, n, *seed))
-			warm = append(warm, workload.New(p, i, n, *seed+1000))
-		}
-	} else {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *bench)
-		os.Exit(2)
-	}
-
-	cfg := multicore.RunConfig{
-		Machine:     machine,
-		Model:       mdl,
-		WarmupInsts: *warmup,
-		Warmup:      warm,
-		MaxCycles:   2_000_000_000,
-	}
-	if *stack && mdl != multicore.Interval {
+	if *stack && *model != "interval" {
 		fmt.Fprintln(os.Stderr, "-cpistack requires -model interval")
 		os.Exit(2)
 	}
-	cfg.KeepCores = *stack || *rep
-	res := multicore.Run(cfg, streams)
+
+	opts := []simrun.Option{
+		simrun.Model(*model),
+		simrun.Cores(*cores),
+		simrun.Insts(*insts),
+		simrun.Warmup(*warmup),
+		simrun.Seed(*seed),
+		simrun.Fabric(*fabric),
+		simrun.Coherence(*coherence),
+		simrun.DRAM(*dram),
+		simrun.Prefetch(*prefetch),
+		simrun.Predictor(*predictor),
+	}
+	if *copies > 0 {
+		opts = append(opts, simrun.Copies(*copies))
+	}
+	if *stack || *rep {
+		opts = append(opts, simrun.KeepCores())
+	}
+	// simrun validates every knob eagerly: an unknown model, benchmark,
+	// fabric, coherence protocol, DRAM model, prefetcher or predictor
+	// name is a usage error, never silently ignored.
+	s, err := simrun.New(*bench, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res, err := s.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *rep {
-		fmt.Print(report.Format(res))
+		fmt.Print(report.Format(res.Result))
 		if res.TimedOut {
 			os.Exit(1)
 		}
 		return
 	}
 
-	fmt.Printf("benchmark=%s model=%s cores=%d\n", *bench, res.Model, n)
+	fmt.Printf("benchmark=%s model=%s cores=%d\n", *bench, res.ModelLabel(), s.Threads())
 	fmt.Printf("cycles=%d total-instructions=%d wall=%v (%.2f MIPS)\n",
 		res.Cycles, res.TotalRetired, res.Wall, res.MIPS())
 	for i, c := range res.Cores {

@@ -11,20 +11,22 @@
 //	-sweep dram    fixed-latency vs banked row-buffer DRAM
 //
 // Each prints one IPC (or cycles) table over a set of benchmark profiles.
+// Every point is an independent simrun scenario, so -j N runs the whole
+// sweep across N host cores; results are deterministic and identical to
+// the sequential run.
 //
-//	go run ./cmd/sweep -sweep core -profiles gcc,mcf,swim
+//	go run ./cmd/sweep -sweep core -profiles gcc,mcf,swim -j 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/config"
-	"repro/internal/multicore"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/simrun"
 )
 
 func main() {
@@ -35,11 +37,12 @@ func main() {
 		warm     = flag.Int("warmup", 300_000, "functional warmup instructions per run")
 		seed     = flag.Int64("seed", 42, "workload generation seed")
 		detailed = flag.Bool("detailed", false, "cross-check each point with the detailed model (slow)")
+		jobs     = flag.Int("j", 1, "host worker goroutines (0 = all host cores)")
 	)
 	flag.Parse()
 
 	names := strings.Split(*profiles, ",")
-	s := &sweeper{insts: *insts, warm: *warm, seed: *seed, detailed: *detailed}
+	s := &sweeper{insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs}
 	switch *sweep {
 	case "core":
 		s.sweepCore(names)
@@ -59,27 +62,78 @@ type sweeper struct {
 	insts, warm int
 	seed        int64
 	detailed    bool
+	jobs        int
 }
 
-// ipc runs profile name on machine m and returns interval-model IPC (and
-// detailed-model IPC when cross-checking).
-func (s *sweeper) ipc(name string, m config.Machine) (float64, float64) {
-	p := workload.SPECByName(name)
-	run := func(model multicore.Model) float64 {
-		res := multicore.Run(multicore.RunConfig{
-			Machine:     m,
-			Model:       model,
-			WarmupInsts: s.warm,
-			Warmup:      []trace.Stream{workload.New(p, 0, 1, s.seed+1000)},
-		}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, s.seed), s.insts)})
-		return res.Cores[0].IPC
+// scenario builds one sweep scenario, treating a bad benchmark name (or
+// any other scenario error) as a usage error.
+func scenario(bench string, opts ...simrun.Option) *simrun.Scenario {
+	sc, err := simrun.New(bench, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	iv := run(multicore.Interval)
-	var det float64
+	return sc
+}
+
+// point builds the scenario for one (profile, machine-tweak) grid point.
+func (s *sweeper) point(name, model string, tweak func(*config.Machine)) *simrun.Scenario {
+	return scenario(name,
+		simrun.Model(model),
+		simrun.Insts(s.insts),
+		simrun.Warmup(s.warm),
+		simrun.Seed(s.seed),
+		simrun.Configure(tweak),
+	)
+}
+
+// run executes the scenarios across the host worker pool and returns the
+// results in input order, exiting on the first failure.
+func (s *sweeper) run(scs []*simrun.Scenario) []simrun.BatchResult {
+	results := simrun.Batch(context.Background(), scs, simrun.BatchOpts{Workers: s.jobs})
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", r.Scenario.Name(), r.Err)
+			os.Exit(1)
+		}
+	}
+	return results
+}
+
+// grid runs one scenario per (row, profile) cell — plus a detailed-model
+// twin per cell when cross-checking — and prints the IPC table.
+func (s *sweeper) grid(labels []string, names []string, tweaks []func(*config.Machine)) {
+	var scs []*simrun.Scenario
+	for _, tweak := range tweaks {
+		for _, name := range names {
+			scs = append(scs, s.point(name, "interval", tweak))
+			if s.detailed {
+				scs = append(scs, s.point(name, "detailed", tweak))
+			}
+		}
+	}
+	results := s.run(scs)
+
+	s.header(names)
+	perCell := 1
 	if s.detailed {
-		det = run(multicore.Detailed)
+		perCell = 2
 	}
-	return iv, det
+	i := 0
+	for _, label := range labels {
+		fmt.Printf("%-22s", label)
+		for range names {
+			iv := results[i].Result.Cores[0].IPC
+			if s.detailed {
+				det := results[i+1].Result.Cores[0].IPC
+				fmt.Printf(" %5.2f/%4.2f", iv, det)
+			} else {
+				fmt.Printf(" %10.3f", iv)
+			}
+			i += perCell
+		}
+		fmt.Println()
+	}
 }
 
 func (s *sweeper) header(names []string) {
@@ -90,86 +144,74 @@ func (s *sweeper) header(names []string) {
 	fmt.Println()
 }
 
-func (s *sweeper) row(label string, names []string, m config.Machine) {
-	fmt.Printf("%-22s", label)
-	for _, n := range names {
-		iv, det := s.ipc(n, m)
-		if s.detailed {
-			fmt.Printf(" %5.2f/%4.2f", iv, det)
-		} else {
-			fmt.Printf(" %10.3f", iv)
-		}
-	}
-	fmt.Println()
-}
-
 func (s *sweeper) sweepCore(names []string) {
 	fmt.Println("== core sizing: IPC by ROB size x dispatch width (interval model) ==")
-	s.header(names)
+	var labels []string
+	var tweaks []func(*config.Machine)
 	for _, rob := range []int{64, 128, 256, 512} {
 		for _, width := range []int{2, 4, 8} {
-			m := config.Default(1)
-			m.Core.ROBSize = rob
-			m.Core.DecodeWidth = width
-			m.Core.IssueWidth = width + 2
-			m.Core.FetchWidth = 2 * width
-			s.row(fmt.Sprintf("ROB=%-4d width=%d", rob, width), names, m)
+			labels = append(labels, fmt.Sprintf("ROB=%-4d width=%d", rob, width))
+			tweaks = append(tweaks, func(m *config.Machine) {
+				m.Core.ROBSize = rob
+				m.Core.DecodeWidth = width
+				m.Core.IssueWidth = width + 2
+				m.Core.FetchWidth = 2 * width
+			})
 		}
 	}
+	s.grid(labels, names, tweaks)
 }
 
 func (s *sweeper) sweepL2(names []string) {
 	fmt.Println("== cache sizing: IPC by shared L2 capacity (interval model) ==")
-	s.header(names)
+	var labels []string
+	var tweaks []func(*config.Machine)
 	for _, mb := range []int{1, 2, 4, 8} {
-		m := config.Default(1)
-		m.Mem.L2.SizeBytes = mb << 20
-		s.row(fmt.Sprintf("L2=%dMB", mb), names, m)
+		labels = append(labels, fmt.Sprintf("L2=%dMB", mb))
+		tweaks = append(tweaks, func(m *config.Machine) { m.Mem.L2.SizeBytes = mb << 20 })
 	}
-	m := config.Default(1)
-	m.Mem.HasL2 = false
-	s.row("no L2", names, m)
+	labels = append(labels, "no L2")
+	tweaks = append(tweaks, func(m *config.Machine) { m.Mem.HasL2 = false })
+	s.grid(labels, names, tweaks)
 }
 
 func (s *sweeper) sweepFabric(names []string) {
 	fmt.Println("== interconnect: multi-program cycles by fabric and core count (interval model) ==")
 	fmt.Printf("%-22s %12s %14s %12s\n", "configuration", "cycles", "fabric-stall", "utilization")
+	var scs []*simrun.Scenario
+	var labels []string
 	for _, cores := range []int{4, 8, 16} {
 		for _, fabric := range []string{"bus", "mesh", "ring"} {
-			m := config.Default(cores)
-			m.Mem.Interconnect = fabric
-			streams := make([]trace.Stream, cores)
-			warms := make([]trace.Stream, cores)
-			for i := range streams {
-				p := workload.SPECByName(names[i%len(names)])
-				streams[i] = trace.NewLimit(workload.New(p, 0, 1, s.seed+int64(i)), s.insts)
-				warms[i] = workload.New(p, 0, 1, s.seed+1000+int64(i))
-			}
-			res := multicore.Run(multicore.RunConfig{
-				Machine:     m,
-				Model:       multicore.Interval,
-				WarmupInsts: s.warm,
-				Warmup:      warms,
-				KeepCores:   true,
-			}, streams)
-			fab := res.Mem.Fabric()
-			fmt.Printf("%-22s %12d %14d %11.1f%%\n",
-				fmt.Sprintf("%d cores, %s", cores, fabric),
-				res.Cycles, fab.StallCycles(), 100*fab.Utilization(res.Cycles))
+			labels = append(labels, fmt.Sprintf("%d cores, %s", cores, fabric))
+			scs = append(scs, scenario("",
+				simrun.Mix(names...),
+				simrun.Cores(cores),
+				simrun.Fabric(fabric),
+				simrun.Insts(s.insts),
+				simrun.Warmup(s.warm),
+				simrun.Seed(s.seed),
+				simrun.KeepCores(),
+				simrun.Label(labels[len(labels)-1]),
+			))
 		}
+	}
+	for i, r := range s.run(scs) {
+		res := r.Result
+		fab := res.Mem.Fabric()
+		fmt.Printf("%-22s %12d %14d %11.1f%%\n",
+			labels[i], res.Cycles, fab.StallCycles(), 100*fab.Utilization(res.Cycles))
 	}
 }
 
 func (s *sweeper) sweepDRAM(names []string) {
 	fmt.Println("== main memory: IPC with fixed-latency vs banked row-buffer DRAM (interval model) ==")
-	s.header(names)
-	fixed := config.Default(1)
-	s.row("fixed 150cy", names, fixed)
-	banked := config.Default(1)
-	banked.Mem.DRAMKind = "banked"
-	s.row("banked 90/180cy", names, banked)
-	wide := config.Default(1)
-	wide.Mem.DRAMKind = "banked"
-	wide.Mem.DRAMBanks = 32
-	s.row("banked, 32 banks", names, wide)
+	s.grid(
+		[]string{"fixed 150cy", "banked 90/180cy", "banked, 32 banks"},
+		names,
+		[]func(*config.Machine){
+			func(m *config.Machine) {},
+			func(m *config.Machine) { m.Mem.DRAMKind = "banked" },
+			func(m *config.Machine) { m.Mem.DRAMKind = "banked"; m.Mem.DRAMBanks = 32 },
+		},
+	)
 }

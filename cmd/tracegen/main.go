@@ -11,12 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/config"
-	"repro/internal/multicore"
+	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -67,18 +67,6 @@ func record(bench string, n int, out string, seed int64) {
 }
 
 func replayTrace(path, model string) {
-	var mdl multicore.Model
-	switch model {
-	case "interval":
-		mdl = multicore.Interval
-	case "detailed":
-		mdl = multicore.Detailed
-	case "oneipc":
-		mdl = multicore.OneIPC
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", model)
-		os.Exit(2)
-	}
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -90,14 +78,24 @@ func replayTrace(path, model string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res := multicore.Run(multicore.RunConfig{
-		Machine: config.Default(1),
-		Model:   mdl,
-	}, []trace.Stream{r})
+	s, err := simrun.New("",
+		simrun.Label(path),
+		simrun.Model(model),
+		simrun.Streams([]trace.Stream{r}, nil),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if err := r.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "trace replay: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("model=%s instructions=%d cycles=%d IPC=%.3f wall=%v (%.2f MIPS)\n",
-		res.Model, res.TotalRetired, res.Cycles, res.Cores[0].IPC, res.Wall, res.MIPS())
+		res.ModelLabel(), res.TotalRetired, res.Cycles, res.Cores[0].IPC, res.Wall, res.MIPS())
 }

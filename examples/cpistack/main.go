@@ -8,50 +8,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/branch"
-	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/isa"
-	"repro/internal/memhier"
-	"repro/internal/sim"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/simrun"
 )
 
 func stackOf(name string) core.CPIStack {
-	p := workload.SPECByName(name)
-	m := config.Default(1)
-	mem := memhier.New(1, m.Mem, memhier.Perfect{})
-	bp := branch.NewUnit(m.Branch)
-
-	// Functional warmup, then a measured run on the interval core.
-	warm := workload.New(p, 0, 1, 1042)
-	for k := 0; k < 600_000; k++ {
-		in, ok := warm.Next()
-		if !ok {
-			break
-		}
-		mem.Inst(0, in.PC, 0)
-		if in.Class.IsBranch() {
-			bp.Predict(&in)
-		}
-		if in.Class.IsMem() {
-			mem.Data(0, in.Addr, in.Class == isa.Store, 0)
-		}
+	res, err := simrun.MustNew(name,
+		simrun.Insts(100_000),
+		simrun.Warmup(600_000),
+		simrun.KeepCores(),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
 	}
-	mem.ResetStats()
-	bp.ResetStats()
-
-	c := core.New(0, m.Core, bp, mem,
-		trace.NewLimit(workload.New(p, 0, 1, 42), 100_000), sim.NullSyncer{})
-	var now int64
-	for !c.Done() {
-		c.Step(now)
-		now++
-	}
-	return c.Stack()
+	return res.Sim[0].(*core.Core).Stack()
 }
 
 func main() {

@@ -13,27 +13,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
-	"repro/internal/multicore"
-	"repro/internal/trace"
+	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
-func run(p *workload.Profile, machine config.Machine) multicore.Result {
-	streams := make([]trace.Stream, machine.Cores)
-	warm := make([]trace.Stream, machine.Cores)
-	for i := range streams {
-		streams[i] = workload.New(p, i, machine.Cores, 42)
-		warm[i] = workload.New(p, i, machine.Cores, 1042)
+func run(bench string, machine config.Machine) simrun.Result {
+	res, err := simrun.MustNew(bench,
+		simrun.Machine(machine),
+		simrun.Warmup(300_000),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
 	}
-	return multicore.Run(multicore.RunConfig{
-		Machine:     machine,
-		Model:       multicore.Interval,
-		WarmupInsts: 300_000,
-		Warmup:      warm,
-	}, streams)
+	return res
 }
 
 func main() {
@@ -43,9 +39,8 @@ func main() {
 	fmt.Println("3D-stacking trade-off (interval simulation, execution cycles):")
 	fmt.Printf("%-14s %12s %12s  %s\n", "benchmark", "2c+L2", "4c+3D", "decision")
 	for _, p := range workload.PARSEC() {
-		q := p
-		a := run(&q, dual)
-		b := run(&q, quad)
+		a := run(p.Name, dual)
+		b := run(p.Name, quad)
 		decision := "keep the L2 (2 cores)"
 		if b.Cycles < a.Cycles {
 			decision = "stack DRAM (4 cores)"

@@ -8,13 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/config"
 	"repro/internal/memory"
-	"repro/internal/multicore"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/simrun"
 )
 
 func main() {
@@ -23,10 +21,10 @@ func main() {
 
 	fmt.Printf("%-8s %14s %14s %16s\n", "bench", "fixed IPC", "banked IPC", "row-hit rate")
 	for _, name := range benchmarks {
-		fixed := run(name, n, false)
+		fixed := run(name, n, "fixed")
 		banked, hitRate := runBanked(name, n)
 		fmt.Printf("%-8s %14.3f %14.3f %15.1f%%\n",
-			name, fixed, banked, 100*hitRate)
+			name, fixed.Cores[0].IPC, banked, 100*hitRate)
 	}
 
 	fmt.Println()
@@ -35,32 +33,28 @@ func main() {
 	fmt.Println("across rows: almost every access pays the 180-cycle conflict path.")
 }
 
-func run(name string, n int, banked bool) float64 {
-	m := config.Default(1)
-	if banked {
-		m.Mem.DRAMKind = "banked"
+func run(name string, n int, dram string) simrun.Result {
+	res, err := simrun.MustNew(name,
+		simrun.DRAM(dram),
+		simrun.Insts(n),
+		simrun.Warmup(300_000),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
 	}
-	p := workload.SPECByName(name)
-	res := multicore.Run(multicore.RunConfig{
-		Machine:     m,
-		Model:       multicore.Interval,
-		WarmupInsts: 300_000,
-		Warmup:      []trace.Stream{workload.New(p, 0, 1, 1042)},
-	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), n)})
-	return res.Cores[0].IPC
+	return res
 }
 
 func runBanked(name string, n int) (ipc, rowHitRate float64) {
-	m := config.Default(1)
-	m.Mem.DRAMKind = "banked"
-	p := workload.SPECByName(name)
-	res := multicore.Run(multicore.RunConfig{
-		Machine:     m,
-		Model:       multicore.Interval,
-		WarmupInsts: 300_000,
-		Warmup:      []trace.Stream{workload.New(p, 0, 1, 1042)},
-		KeepCores:   true,
-	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), n)})
+	res, err := simrun.MustNew(name,
+		simrun.DRAM("banked"),
+		simrun.Insts(n),
+		simrun.Warmup(300_000),
+		simrun.KeepCores(),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
 	if b, ok := res.Mem.DRAM().(*memory.Banked); ok {
 		rowHitRate = b.RowHitRate()
 	}

@@ -7,13 +7,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
 	"repro/internal/energy"
-	"repro/internal/multicore"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/simrun"
 )
 
 func main() {
@@ -23,12 +22,8 @@ func main() {
 	fmt.Printf("%-14s %-14s %10s %10s %12s %14s\n",
 		"bench", "config", "cycles", "uJ", "pJ/inst", "EDP (rel)")
 	for _, name := range benchmarks {
-		p := workload.PARSECByName(name)
-		q := *p
-		q.TotalWork = uint64(float64(q.TotalWork) * workScale)
-
-		dual := measure(&q, config.Default(2))
-		quad := measure(&q, config.Stacked3D(4))
+		dual := measure(name, workScale, config.Default(2))
+		quad := measure(name, workScale, config.Stacked3D(4))
 
 		print1 := func(label string, r energy.Report, rel float64) {
 			fmt.Printf("%-14s %-14s %10d %10.1f %12.1f %14.2f\n",
@@ -46,19 +41,15 @@ func main() {
 
 // measure runs the workload with one thread per core and returns its
 // energy report.
-func measure(p *workload.Profile, m config.Machine) energy.Report {
-	streams := make([]trace.Stream, m.Cores)
-	warms := make([]trace.Stream, m.Cores)
-	for i := range streams {
-		streams[i] = workload.New(p, i, m.Cores, 42)
-		warms[i] = workload.New(p, i, m.Cores, 1042)
+func measure(bench string, workScale float64, m config.Machine) energy.Report {
+	res, err := simrun.MustNew(bench,
+		simrun.Machine(m),
+		simrun.WorkScale(workScale),
+		simrun.Warmup(100_000),
+		simrun.KeepCores(),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
 	}
-	res := multicore.Run(multicore.RunConfig{
-		Machine:     m,
-		Model:       multicore.Interval,
-		WarmupInsts: 100_000,
-		Warmup:      warms,
-		KeepCores:   true,
-	}, streams)
-	return energy.Estimate(res, energy.Default())
+	return energy.Estimate(res.Result, energy.Default())
 }

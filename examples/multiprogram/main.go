@@ -7,41 +7,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/config"
 	"repro/internal/metrics"
-	"repro/internal/multicore"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/simrun"
 )
 
-const instsPerCopy = 50_000
-
-func run(p *workload.Profile, copies int) multicore.Result {
-	machine := config.Default(copies)
-	streams := make([]trace.Stream, copies)
-	warm := make([]trace.Stream, copies)
-	for i := range streams {
-		streams[i] = trace.NewLimit(workload.New(p, i, copies, 42), instsPerCopy)
-		warm[i] = workload.New(p, i, copies, 1042)
+func run(bench string, copies int) simrun.Result {
+	res, err := simrun.MustNew(bench,
+		simrun.Copies(copies),
+		simrun.Insts(50_000),
+		simrun.Warmup(600_000),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
 	}
-	return multicore.Run(multicore.RunConfig{
-		Machine:     machine,
-		Model:       multicore.Interval,
-		WarmupInsts: 600_000,
-		Warmup:      warm,
-	}, streams)
+	return res
 }
 
 func main() {
 	fmt.Println("Homogeneous multi-program workloads (interval simulation):")
 	fmt.Printf("%-8s %6s %8s %8s\n", "bench", "copies", "STP", "ANTT")
 	for _, name := range []string{"gcc", "mcf", "art", "swim"} {
-		p := workload.SPECByName(name)
-		alone := run(p, 1).Cores[0].IPC
+		alone := run(name, 1).Cores[0].IPC
 		for _, copies := range []int{1, 2, 4, 8} {
-			res := run(p, copies)
+			res := run(name, copies)
 			multi := make([]float64, copies)
 			base := make([]float64, copies)
 			for i, c := range res.Cores {

@@ -9,12 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
-	"repro/internal/multicore"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/simrun"
 )
 
 func main() {
@@ -28,25 +27,19 @@ func main() {
 	fmt.Printf("%-8s %12s %10s %14s %12s\n", "fabric", "cycles", "STP", "fabric-stall", "busy")
 
 	for _, fabric := range []string{"bus", "mesh", "ring"} {
-		m := config.Default(cores)
-		m.Mem.Interconnect = fabric
-		m.Mem.NoCHopLatency = 2
-
-		streams := make([]trace.Stream, cores)
-		warms := make([]trace.Stream, cores)
-		for i := range streams {
-			p := workload.SPECByName(mix[i%len(mix)])
-			streams[i] = trace.NewLimit(workload.New(p, 0, 1, int64(42+i)), n)
-			warms[i] = workload.New(p, 0, 1, int64(1042+i))
+		res, err := simrun.MustNew("",
+			simrun.Label(fabric+" mix"),
+			simrun.Mix(mix...),
+			simrun.Cores(cores),
+			simrun.Fabric(fabric),
+			simrun.Configure(func(m *config.Machine) { m.Mem.NoCHopLatency = 2 }),
+			simrun.Insts(n),
+			simrun.Warmup(200_000),
+			simrun.KeepCores(),
+		).Run(context.Background())
+		if err != nil {
+			panic(err)
 		}
-
-		res := multicore.Run(multicore.RunConfig{
-			Machine:     m,
-			Model:       multicore.Interval,
-			WarmupInsts: 200_000,
-			Warmup:      warms,
-			KeepCores:   true,
-		}, streams)
 
 		stp := 0.0
 		for _, c := range res.Cores {

@@ -7,39 +7,31 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/config"
-	"repro/internal/multicore"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/simrun"
 )
 
-func run(p *workload.Profile, cores int) multicore.Result {
-	machine := config.Default(cores)
-	streams := make([]trace.Stream, cores)
-	warm := make([]trace.Stream, cores)
-	for i := range streams {
-		streams[i] = workload.New(p, i, cores, 42)
-		warm[i] = workload.New(p, i, cores, 1042)
+func run(bench string, cores int) simrun.Result {
+	res, err := simrun.MustNew(bench,
+		simrun.Cores(cores),
+		simrun.Warmup(300_000),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
 	}
-	return multicore.Run(multicore.RunConfig{
-		Machine:     machine,
-		Model:       multicore.Interval,
-		WarmupInsts: 300_000,
-		Warmup:      warm,
-	}, streams)
+	return res
 }
 
 func main() {
 	fmt.Println("PARSEC-like scaling (interval simulation, speedup over 1 core):")
 	fmt.Printf("%-14s %8s %8s %8s %8s\n", "benchmark", "1", "2", "4", "8")
 	for _, name := range []string{"blackscholes", "streamcluster", "fluidanimate", "vips"} {
-		p := workload.PARSECByName(name)
 		var base int64
 		row := fmt.Sprintf("%-14s", name)
 		for _, cores := range []int{1, 2, 4, 8} {
-			res := run(p, cores)
+			res := run(name, cores)
 			if cores == 1 {
 				base = res.Cycles
 			}

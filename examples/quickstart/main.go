@@ -5,40 +5,31 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/config"
-	"repro/internal/multicore"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/simrun"
 )
 
 func main() {
-	// 1. Pick a benchmark profile — the synthetic stand-in for a SPEC
-	// CPU2000 binary (here: gcc-like, branchy with a large code
-	// footprint).
-	profile := workload.SPECByName("gcc")
-
-	// 2. Describe the machine: Table 1 of the paper, one core.
-	machine := config.Default(1)
-
-	// 3. Run the same instruction stream under both core models. The
-	// streams are deterministic: both models see identical instructions
-	// and drive identical branch-predictor and memory-hierarchy
-	// simulators; only the core timing model differs.
-	const n = 100_000
-	for _, model := range []multicore.Model{multicore.Detailed, multicore.Interval} {
-		stream := trace.NewLimit(workload.New(profile, 0, 1, 42), n)
-		warm := workload.New(profile, 0, 1, 1042)
-		res := multicore.Run(multicore.RunConfig{
-			Machine:     machine,
-			Model:       model,
-			WarmupInsts: 600_000,
-			Warmup:      []trace.Stream{warm},
-		}, []trace.Stream{stream})
-
+	// Run the same instruction stream under both core models. Scenarios
+	// are deterministic: both models see identical instructions and
+	// drive identical branch-predictor and memory-hierarchy simulators;
+	// only the core timing model differs. The benchmark is gcc-like
+	// (branchy with a large code footprint) on the paper's Table 1
+	// machine.
+	for _, model := range []string{"detailed", "interval"} {
+		s := simrun.MustNew("gcc",
+			simrun.Model(model),
+			simrun.Insts(100_000),
+			simrun.Warmup(600_000),
+		)
+		res, err := s.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-9s IPC=%.3f cycles=%-8d wall=%-12v %.2f MIPS\n",
-			res.Model, res.Cores[0].IPC, res.Cycles, res.Wall, res.MIPS())
+			res.ModelLabel(), res.Cores[0].IPC, res.Cycles, res.Wall, res.MIPS())
 	}
 
 	fmt.Println()

@@ -8,28 +8,30 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/multicore"
 	"repro/internal/sampling"
-	"repro/internal/trace"
+	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
 func main() {
-	p := workload.SPECByName("mesa")
-	m := config.Default(1)
 	const total = 400_000
+	m := config.Default(1)
 
-	full := multicore.Run(multicore.RunConfig{
-		Machine: m, Model: multicore.Interval,
-	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), total)})
+	full, err := simrun.MustNew("mesa", simrun.Insts(total)).Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("%-28s IPC=%.3f wall=%v\n", "full interval simulation:",
 		full.Cores[0].IPC, full.Wall)
 
+	p := workload.SPECByName("mesa")
 	for _, period := range []int{20_000, 50_000, 100_000} {
 		res, err := sampling.Run(sampling.Config{
 			Unit: 10_000, Period: period,

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
 	"repro/internal/multicore"
 	"repro/internal/sampling"
+	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -54,8 +56,13 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	full := multicore.Run(multicore.RunConfig{Machine: m, Model: multicore.Interval},
-		[]trace.Stream{trace.NewSliceStream(insts)})
+	full, err := simrun.MustNew("",
+		simrun.Label("phased gcc~swim"),
+		simrun.Streams([]trace.Stream{trace.NewSliceStream(insts)}, nil),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("\nfull run IPC        %.3f (%d intervals timed)\n", full.Cores[0].IPC, sp.Intervals())
 	fmt.Printf("simpoint estimate   %.3f (%d intervals timed)\n", est, sp.K)

@@ -8,10 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/config"
-	"repro/internal/multicore"
+	"repro/internal/simrun"
 	"repro/internal/statsim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -20,7 +20,6 @@ import (
 func main() {
 	const n = 60_000
 	const warm = 20_000
-	m := config.Default(1)
 
 	fmt.Printf("%-8s %14s %14s %10s %10s\n", "bench", "original IPC", "clone IPC", "err", "chase")
 	for _, name := range []string{"gcc", "mcf", "swim", "equake"} {
@@ -30,8 +29,8 @@ func main() {
 		// locality statistics reflect steady state).
 		prof := statsim.CollectWarm(workload.New(p, 0, 1, 42), warm, n+warm)
 
-		orig := ipc(m, trace.NewLimit(workload.New(p, 0, 1, 42), n+warm), warm)
-		clone := ipc(m, statsim.NewClone(prof, warm+n/5, 99), warm)
+		orig := ipc(name, trace.NewLimit(workload.New(p, 0, 1, 42), n+warm), warm)
+		clone := ipc(name+" clone", statsim.NewClone(prof, warm+n/5, 99), warm)
 
 		err := 100 * abs(orig-clone) / orig
 		fmt.Printf("%-8s %14.3f %14.3f %9.1f%% %9.2f\n",
@@ -46,14 +45,16 @@ func main() {
 
 // ipc times a stream on the interval model after functionally warming
 // with its first warm instructions.
-func ipc(m config.Machine, src trace.Stream, warm int) float64 {
+func ipc(label string, src trace.Stream, warm int) float64 {
 	head := trace.Record(src, warm)
-	res := multicore.Run(multicore.RunConfig{
-		Machine:     m,
-		Model:       multicore.Interval,
-		WarmupInsts: warm,
-		Warmup:      []trace.Stream{trace.NewSliceStream(head)},
-	}, []trace.Stream{src})
+	res, err := simrun.MustNew("",
+		simrun.Label(label),
+		simrun.Streams([]trace.Stream{src}, []trace.Stream{trace.NewSliceStream(head)}),
+		simrun.Warmup(warm),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
 	return res.Cores[0].IPC
 }
 

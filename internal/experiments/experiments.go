@@ -10,13 +10,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/memhier"
 	"repro/internal/multicore"
-	"repro/internal/trace"
+	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,11 @@ type Opts struct {
 	WorkScale float64
 	// Seed selects the deterministic workload instance.
 	Seed int64
+	// Jobs is the host worker-pool size for figures whose runs are
+	// independent (0 or 1 = sequential). Simulated results are identical
+	// at any setting; the wall-clock-speedup figures (9 and 10) always
+	// run sequentially so their host-time measurements stay honest.
+	Jobs int
 }
 
 // Defaults returns the standard experiment sizing.
@@ -101,49 +107,84 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// runSpec runs one SPEC profile alone on a machine with the given perfect
-// switches and predictor kind.
-func (o Opts) runSpec(p *workload.Profile, model multicore.Model, cores int,
-	perfect memhier.Perfect, predictor string) multicore.Result {
-	m := config.Default(cores)
+// expMaxCycles aborts runaway experiment runs.
+const expMaxCycles = 500_000_000
+
+// specScenario describes one SPEC profile run with the given perfect
+// switches and predictor kind; extra options are appended.
+func (o Opts) specScenario(p *workload.Profile, model string, cores int,
+	perfect memhier.Perfect, predictor string, extra ...simrun.Option) *simrun.Scenario {
+	opts := []simrun.Option{
+		simrun.Model(model),
+		simrun.Cores(cores),
+		simrun.Insts(o.Insts),
+		simrun.Warmup(o.Warmup),
+		simrun.Seed(o.Seed),
+		simrun.Perfect(perfect),
+		simrun.MaxCycles(expMaxCycles),
+	}
 	if predictor != "" {
-		m.Branch.Kind = predictor
+		opts = append(opts, simrun.Predictor(predictor))
 	}
-	streams := make([]trace.Stream, cores)
-	warm := make([]trace.Stream, cores)
-	for i := 0; i < cores; i++ {
-		streams[i] = trace.NewLimit(workload.New(p, i, cores, o.Seed), o.Insts)
-		warm[i] = workload.New(p, i, cores, o.Seed+1000)
-	}
-	return multicore.Run(multicore.RunConfig{
-		Machine:     m,
-		Model:       model,
-		Perfect:     perfect,
-		WarmupInsts: o.Warmup,
-		Warmup:      warm,
-		MaxCycles:   500_000_000,
-	}, streams)
+	return simrun.MustNew(p.Name, append(opts, extra...)...)
 }
 
-// runParsec runs one PARSEC profile with one thread per core on machine m.
-func (o Opts) runParsec(p *workload.Profile, model multicore.Model, m config.Machine) multicore.Result {
-	q := *p
-	if o.WorkScale > 0 && o.WorkScale != 1 {
-		q.TotalWork = uint64(float64(q.TotalWork) * o.WorkScale)
+// parsecScenario describes one PARSEC profile run with one thread per core
+// on machine m.
+func (o Opts) parsecScenario(p *workload.Profile, model string, m config.Machine) *simrun.Scenario {
+	// A zero WorkScale (an Opts built by hand) means "no scaling", as it
+	// did before the simrun migration.
+	scale := o.WorkScale
+	if scale <= 0 {
+		scale = 1
 	}
-	streams := make([]trace.Stream, m.Cores)
-	warm := make([]trace.Stream, m.Cores)
-	for i := 0; i < m.Cores; i++ {
-		streams[i] = workload.New(&q, i, m.Cores, o.Seed)
-		warm[i] = workload.New(&q, i, m.Cores, o.Seed+1000)
+	return simrun.MustNew(p.Name,
+		simrun.Model(model),
+		simrun.Machine(m),
+		simrun.WorkScale(scale),
+		simrun.Warmup(o.Warmup),
+		simrun.Seed(o.Seed),
+		simrun.MaxCycles(expMaxCycles),
+	)
+}
+
+// runSpec runs one SPEC profile alone, synchronously.
+func (o Opts) runSpec(p *workload.Profile, model string, cores int,
+	perfect memhier.Perfect, predictor string) multicore.Result {
+	return o.one(o.specScenario(p, model, cores, perfect, predictor))
+}
+
+// runParsec runs one PARSEC profile, synchronously.
+func (o Opts) runParsec(p *workload.Profile, model string, m config.Machine) multicore.Result {
+	return o.one(o.parsecScenario(p, model, m))
+}
+
+// one executes a single scenario; experiment scenarios are built from
+// static tables, so a failure is a bug, not an input error.
+func (o Opts) one(s *simrun.Scenario) multicore.Result {
+	res, err := s.Run(context.Background())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", s.Name(), err))
 	}
-	return multicore.Run(multicore.RunConfig{
-		Machine:     m,
-		Model:       model,
-		WarmupInsts: o.Warmup,
-		Warmup:      warm,
-		MaxCycles:   500_000_000,
-	}, streams)
+	return res.Result
+}
+
+// runAll executes independent scenarios across Opts.Jobs host workers and
+// returns their results in input order.
+func (o Opts) runAll(scs []*simrun.Scenario) []multicore.Result {
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	batch := simrun.Batch(context.Background(), scs, simrun.BatchOpts{Workers: jobs})
+	out := make([]multicore.Result, len(batch))
+	for i, r := range batch {
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", r.Scenario.Name(), r.Err))
+		}
+		out[i] = r.Result.Result
+	}
+	return out
 }
 
 // f3 formats a float at 3 decimals.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/memhier"
 	"repro/internal/multicore"
 	"repro/internal/sampling"
+	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -34,20 +35,6 @@ var ablationVariants = []core.Options{
 // ablationProfiles is the mixed profile set the model ablation sweeps.
 var ablationProfiles = []string{"gcc", "mcf", "swim", "vpr"}
 
-// runSpecAblated runs one SPEC profile single-core under the interval
-// model with the given ablation options.
-func (o Opts) runSpecAblated(p *workload.Profile, opts core.Options) multicore.Result {
-	m := config.Default(1)
-	return multicore.Run(multicore.RunConfig{
-		Machine:     m,
-		Model:       multicore.Interval,
-		Ablation:    opts,
-		WarmupInsts: o.Warmup,
-		Warmup:      []trace.Stream{workload.New(p, 0, 1, o.Seed+1000)},
-		MaxCycles:   500_000_000,
-	}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, o.Seed), o.Insts)})
-}
-
 // AblationModel regenerates the per-refinement accuracy table: for every
 // ablation variant, the IPC error against the detailed baseline per
 // profile and on average.
@@ -57,18 +44,30 @@ func (o Opts) AblationModel() Table {
 		Title:   "per-refinement accuracy ablation (DESIGN.md §6): interval-vs-detailed IPC error",
 		Columns: append(append([]string{"variant"}, ablationProfiles...), "avg"),
 	}
-	detailed := make(map[string]float64, len(ablationProfiles))
+	var scs []*simrun.Scenario
 	for _, name := range ablationProfiles {
-		p := workload.SPECByName(name)
-		detailed[name] = o.runSpec(p, multicore.Detailed, 1, memhier.Perfect{}, "").Cores[0].IPC
+		scs = append(scs, o.specScenario(workload.SPECByName(name), "detailed", 1, memhier.Perfect{}, ""))
+	}
+	for _, v := range ablationVariants {
+		for _, name := range ablationProfiles {
+			scs = append(scs, o.specScenario(workload.SPECByName(name), "interval", 1,
+				memhier.Perfect{}, "", simrun.Ablation(v)))
+		}
+	}
+	results := o.runAll(scs)
+
+	detailed := make(map[string]float64, len(ablationProfiles))
+	for i, name := range ablationProfiles {
+		detailed[name] = results[i].Cores[0].IPC
 	}
 	var fullAvg float64
+	idx := len(ablationProfiles)
 	for _, v := range ablationVariants {
 		row := []string{v.Name()}
 		var sum float64
 		for _, name := range ablationProfiles {
-			p := workload.SPECByName(name)
-			ipc := o.runSpecAblated(p, v).Cores[0].IPC
+			ipc := results[idx].Cores[0].IPC
+			idx++
 			e := math.Abs(ipc-detailed[name]) / detailed[name]
 			sum += e
 			row = append(row, pct(e))
@@ -98,15 +97,28 @@ func (o Opts) Scale16() Table {
 		Columns: []string{"bench", "fabric", "1", "2", "4", "8", "16", "32"},
 	}
 	counts := []int{1, 2, 4, 8, 16, 32}
+	fabrics := []string{"bus", "ring"}
+	var scs []*simrun.Scenario
 	for _, name := range []string{"blackscholes", "streamcluster"} {
 		p := workload.PARSECByName(name)
-		var base int64
-		for _, fabric := range []string{"bus", "ring"} {
-			row := []string{name, fabric}
+		for _, fabric := range fabrics {
 			for _, n := range counts {
 				m := config.Default(n)
 				m.Mem.Interconnect = fabric
-				res := o.runParsec(p, multicore.Interval, m)
+				scs = append(scs, o.parsecScenario(p, "interval", m))
+			}
+		}
+	}
+	results := o.runAll(scs)
+
+	i := 0
+	for _, name := range []string{"blackscholes", "streamcluster"} {
+		var base int64
+		for _, fabric := range fabrics {
+			row := []string{name, fabric}
+			for _, n := range counts {
+				res := results[i]
+				i++
 				if fabric == "bus" && n == 1 {
 					base = res.Cycles
 				}
@@ -133,34 +145,32 @@ func (o Opts) Fabric() Table {
 	}
 	mix := []string{"swim", "mcf", "gcc", "art"}
 	const cores = 8
-	for _, fabric := range []string{"bus", "mesh", "ring"} {
-		m := config.Default(cores)
-		m.Mem.Interconnect = fabric
-		streams := make([]trace.Stream, cores)
-		warms := make([]trace.Stream, cores)
-		for i := range streams {
-			p := workload.SPECByName(mix[i%len(mix)])
-			streams[i] = trace.NewLimit(workload.New(p, 0, 1, o.Seed+int64(i)), o.Insts)
-			warms[i] = workload.New(p, 0, 1, o.Seed+1000+int64(i))
-		}
-		res := multicore.Run(multicore.RunConfig{
-			Machine:     m,
-			Model:       multicore.Interval,
-			WarmupInsts: o.Warmup,
-			Warmup:      warms,
-			KeepCores:   true,
-		}, streams)
+	fabrics := []string{"bus", "mesh", "ring"}
+	var scs []*simrun.Scenario
+	for _, fabric := range fabrics {
+		scs = append(scs, simrun.MustNew("",
+			simrun.Label(fabric+" mix"),
+			simrun.Mix(mix...),
+			simrun.Cores(cores),
+			simrun.Fabric(fabric),
+			simrun.Insts(o.Insts),
+			simrun.Warmup(o.Warmup),
+			simrun.Seed(o.Seed),
+			simrun.KeepCores(),
+		))
+	}
+	for i, r := range o.runAll(scs) {
 		stp := 0.0
-		for _, c := range res.Cores {
+		for _, c := range r.Cores {
 			stp += c.IPC
 		}
-		fab := res.Mem.Fabric()
+		fab := r.Mem.Fabric()
 		t.Rows = append(t.Rows, []string{
-			fabric,
-			fmt.Sprintf("%d", res.Cycles),
+			fabrics[i],
+			fmt.Sprintf("%d", r.Cycles),
 			f2(stp),
 			fmt.Sprintf("%d", fab.StallCycles()),
-			pct(fab.Utilization(res.Cycles)),
+			pct(fab.Utilization(r.Cycles)),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -176,21 +186,22 @@ func (o Opts) DRAMStudy() Table {
 		Title:   "main memory: fixed-latency vs banked row-buffer DRAM (interval model)",
 		Columns: []string{"bench", "fixed IPC", "banked IPC", "gain"},
 	}
-	for _, name := range []string{"swim", "mgrid", "gcc", "mcf"} {
-		p := workload.SPECByName(name)
-		run := func(kind string) float64 {
-			m := config.Default(1)
-			m.Mem.DRAMKind = kind
-			res := multicore.Run(multicore.RunConfig{
-				Machine:     m,
-				Model:       multicore.Interval,
-				WarmupInsts: o.Warmup,
-				Warmup:      []trace.Stream{workload.New(p, 0, 1, o.Seed+1000)},
-			}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, o.Seed), o.Insts)})
-			return res.Cores[0].IPC
+	names := []string{"swim", "mgrid", "gcc", "mcf"}
+	var scs []*simrun.Scenario
+	for _, name := range names {
+		for _, kind := range []string{"fixed", "banked"} {
+			scs = append(scs, simrun.MustNew(name,
+				simrun.DRAM(kind),
+				simrun.Insts(o.Insts),
+				simrun.Warmup(o.Warmup),
+				simrun.Seed(o.Seed),
+			))
 		}
-		fixed := run("")
-		banked := run("banked")
+	}
+	results := o.runAll(scs)
+	for i, name := range names {
+		fixed := results[2*i].Cores[0].IPC
+		banked := results[2*i+1].Cores[0].IPC
 		t.Rows = append(t.Rows, []string{name, f3(fixed), f3(banked), f2(banked / fixed)})
 	}
 	t.Notes = append(t.Notes,
@@ -207,19 +218,21 @@ func (o Opts) Predictors() Table {
 		Columns: []string{"predictor", "gcc misp", "gcc IPC", "vpr misp", "vpr IPC", "crafty misp", "crafty IPC"},
 	}
 	benches := []string{"gcc", "vpr", "crafty"}
-	for _, kind := range []string{"bimodal", "gshare", "local", "tournament", "tage"} {
-		row := []string{kind}
+	kinds := []string{"bimodal", "gshare", "local", "tournament", "tage"}
+	var scs []*simrun.Scenario
+	for _, kind := range kinds {
 		for _, name := range benches {
-			p := workload.SPECByName(name)
-			m := config.Default(1)
-			m.Branch.Kind = kind
-			res := multicore.Run(multicore.RunConfig{
-				Machine:     m,
-				Model:       multicore.Interval,
-				WarmupInsts: o.Warmup,
-				Warmup:      []trace.Stream{workload.New(p, 0, 1, o.Seed+1000)},
-				KeepCores:   true,
-			}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, o.Seed), o.Insts)})
+			scs = append(scs, o.specScenario(workload.SPECByName(name), "interval", 1,
+				memhier.Perfect{}, kind, simrun.KeepCores()))
+		}
+	}
+	results := o.runAll(scs)
+	i := 0
+	for _, kind := range kinds {
+		row := []string{kind}
+		for range benches {
+			res := results[i]
+			i++
 			row = append(row, mispOf(res), f3(res.Cores[0].IPC))
 		}
 		t.Rows = append(t.Rows, row)
@@ -294,14 +307,15 @@ func (o Opts) CoPhase() Table {
 			t.Rows = append(t.Rows, []string{mix.name, "error", err.Error(), "", "", ""})
 			continue
 		}
-		actual := multicore.Run(multicore.RunConfig{
-			Machine: m, Model: multicore.Interval,
-			WarmupInsts: initSegs * segLen,
-			Warmup: []trace.Stream{
-				trace.NewSliceStream(mix.a.init),
-				trace.NewSliceStream(mix.b.init),
-			},
-		}, []trace.Stream{trace.NewSliceStream(mix.a.rest), trace.NewSliceStream(mix.b.rest)})
+		actual := o.one(simrun.MustNew("",
+			simrun.Label(mix.name),
+			simrun.Machine(m),
+			simrun.Warmup(initSegs*segLen),
+			simrun.Streams(
+				[]trace.Stream{trace.NewSliceStream(mix.a.rest), trace.NewSliceStream(mix.b.rest)},
+				[]trace.Stream{trace.NewSliceStream(mix.a.init), trace.NewSliceStream(mix.b.init)},
+			),
+		))
 		for k := 0; k < 2; k++ {
 			act := actual.Cores[k].IPC
 			pred := res.Predicted[k]

@@ -7,6 +7,7 @@ import (
 	"repro/internal/memhier"
 	"repro/internal/metrics"
 	"repro/internal/multicore"
+	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,32 @@ func fig4Setups() []fig4Setup {
 	}
 }
 
+// accuracyTable runs every SPEC profile under the detailed and interval
+// models with the given perfect switches and predictor, across the host
+// worker pool, and tabulates per-benchmark IPC and error.
+func (o Opts) accuracyTable(t Table, perfect memhier.Perfect, predictor string, paperNote string) Table {
+	var scs []*simrun.Scenario
+	for _, p := range workload.SPEC() {
+		q := p
+		scs = append(scs,
+			o.specScenario(&q, "detailed", 1, perfect, predictor),
+			o.specScenario(&q, "interval", 1, perfect, predictor))
+	}
+	results := o.runAll(scs)
+
+	var sum metrics.Summary
+	for i, p := range workload.SPEC() {
+		det, intv := results[2*i], results[2*i+1]
+		e := metrics.RelError(det.Cores[0].IPC, intv.Cores[0].IPC)
+		sum.Add(p.Name, det.Cores[0].IPC, intv.Cores[0].IPC)
+		t.Rows = append(t.Rows, []string{p.Name, f3(det.Cores[0].IPC), f3(intv.Cores[0].IPC), pct(e)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average error %s, max %s (%s); %s",
+			pct(sum.Avg()), pct(sum.Max), sum.MaxName, paperNote))
+	return t
+}
+
 // Fig4 regenerates one panel of Figure 4 ("4a".."4d"): per-benchmark IPC
 // under detailed and interval simulation with selected structures perfect.
 func (o Opts) Fig4(sub string) Table {
@@ -44,52 +71,30 @@ func (o Opts) Fig4(sub string) Table {
 	if setup.sub == "" {
 		panic("experiments: unknown Figure 4 panel " + sub)
 	}
-	t := Table{
+	return o.accuracyTable(Table{
 		ID:      "fig" + setup.sub,
 		Title:   "step-by-step accuracy: " + setup.title + " (IPC, detailed vs interval)",
 		Columns: []string{"benchmark", "detailed", "interval", "error"},
-	}
-	var sum metrics.Summary
-	for _, p := range workload.SPEC() {
-		q := p
-		det := o.runSpec(&q, multicore.Detailed, 1, setup.perfect, setup.predictor)
-		intv := o.runSpec(&q, multicore.Interval, 1, setup.perfect, setup.predictor)
-		e := metrics.RelError(det.Cores[0].IPC, intv.Cores[0].IPC)
-		sum.Add(p.Name, det.Cores[0].IPC, intv.Cores[0].IPC)
-		t.Rows = append(t.Rows, []string{p.Name, f3(det.Cores[0].IPC), f3(intv.Cores[0].IPC), pct(e)})
-	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("average error %s, max %s (%s); paper: dispatch/I-side most accurate (1.8%%), branch 3.8%%, L2 4.6%%",
-			pct(sum.Avg()), pct(sum.Max), sum.MaxName))
-	return t
+	}, setup.perfect, setup.predictor,
+		"paper: dispatch/I-side most accurate (1.8%), branch 3.8%, L2 4.6%")
 }
 
 // Fig5 regenerates Figure 5: full single-threaded accuracy, all structures
 // real.
 func (o Opts) Fig5() Table {
-	t := Table{
+	return o.accuracyTable(Table{
 		ID:      "fig5",
 		Title:   "single-threaded SPEC accuracy (IPC, detailed vs interval)",
 		Columns: []string{"benchmark", "detailed", "interval", "error"},
-	}
-	var sum metrics.Summary
-	for _, p := range workload.SPEC() {
-		q := p
-		det := o.runSpec(&q, multicore.Detailed, 1, memhier.Perfect{}, "")
-		intv := o.runSpec(&q, multicore.Interval, 1, memhier.Perfect{}, "")
-		e := metrics.RelError(det.Cores[0].IPC, intv.Cores[0].IPC)
-		sum.Add(p.Name, det.Cores[0].IPC, intv.Cores[0].IPC)
-		t.Rows = append(t.Rows, []string{p.Name, f3(det.Cores[0].IPC), f3(intv.Cores[0].IPC), pct(e)})
-	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("average error %s, max %s (%s); paper: 5.9%% average, 15.5%% max",
-			pct(sum.Avg()), pct(sum.Max), sum.MaxName))
-	return t
+	}, memhier.Perfect{}, "", "paper: 5.9% average, 15.5% max")
 }
 
 // fig6Benchmarks are the homogeneous multi-program workloads the paper
 // reports (multiple copies of the same benchmark).
 var fig6Benchmarks = []string{"gcc", "mcf", "twolf", "art", "swim"}
+
+// fig6Copies are the co-scheduled copy counts of Figure 6.
+var fig6Copies = []int{1, 2, 4, 8}
 
 // Fig6 regenerates Figure 6: STP and ANTT for homogeneous multi-program
 // workloads at 1, 2, 4 and 8 copies, detailed vs interval.
@@ -100,15 +105,28 @@ func (o Opts) Fig6() Table {
 		Columns: []string{"workload", "copies", "STP(det)", "STP(intv)",
 			"ANTT(det)", "ANTT(intv)", "errSTP", "errANTT"},
 	}
-	var stpSum, anttSum metrics.Summary
+	// Every (benchmark, copies, model) run is independent: batch them
+	// all. The 1-copy runs double as the alone-run normalizers.
+	var scs []*simrun.Scenario
 	for _, name := range fig6Benchmarks {
 		p := workload.SPECByName(name)
-		// Alone runs normalize progress per model.
-		aloneDet := o.runSpec(p, multicore.Detailed, 1, memhier.Perfect{}, "").Cores[0].IPC
-		aloneIntv := o.runSpec(p, multicore.Interval, 1, memhier.Perfect{}, "").Cores[0].IPC
-		for _, copies := range []int{1, 2, 4, 8} {
-			det := o.runSpec(p, multicore.Detailed, copies, memhier.Perfect{}, "")
-			intv := o.runSpec(p, multicore.Interval, copies, memhier.Perfect{}, "")
+		for _, copies := range fig6Copies {
+			scs = append(scs,
+				o.specScenario(p, "detailed", copies, memhier.Perfect{}, ""),
+				o.specScenario(p, "interval", copies, memhier.Perfect{}, ""))
+		}
+	}
+	results := o.runAll(scs)
+
+	var stpSum, anttSum metrics.Summary
+	i := 0
+	for _, name := range fig6Benchmarks {
+		base := i // the 1-copy pair leads each benchmark's block
+		aloneDet := results[base].Cores[0].IPC
+		aloneIntv := results[base+1].Cores[0].IPC
+		for _, copies := range fig6Copies {
+			det, intv := results[i], results[i+1]
+			i += 2
 			stpD := metrics.STP(repeat(aloneDet, copies), ipcs(det))
 			stpI := metrics.STP(repeat(aloneIntv, copies), ipcs(intv))
 			anttD := metrics.ANTT(repeat(aloneDet, copies), ipcs(det))
@@ -131,6 +149,9 @@ func (o Opts) Fig6() Table {
 	return t
 }
 
+// fig7Cores are the core counts of the PARSEC scaling experiments.
+var fig7Cores = []int{1, 2, 4, 8}
+
 // Fig7 regenerates Figure 7: PARSEC normalized execution time versus core
 // count, detailed vs interval. Times are normalized to the detailed
 // single-core run of each benchmark, as in the paper.
@@ -141,13 +162,24 @@ func (o Opts) Fig7() Table {
 		Columns: []string{"benchmark", "cores", "norm(det)", "norm(intv)",
 			"error"},
 	}
-	var sum metrics.Summary
+	var scs []*simrun.Scenario
 	for _, p := range workload.PARSEC() {
 		q := p
+		for _, cores := range fig7Cores {
+			scs = append(scs,
+				o.parsecScenario(&q, "detailed", config.Default(cores)),
+				o.parsecScenario(&q, "interval", config.Default(cores)))
+		}
+	}
+	results := o.runAll(scs)
+
+	var sum metrics.Summary
+	i := 0
+	for _, p := range workload.PARSEC() {
 		var base float64
-		for _, cores := range []int{1, 2, 4, 8} {
-			det := o.runParsec(&q, multicore.Detailed, config.Default(cores))
-			intv := o.runParsec(&q, multicore.Interval, config.Default(cores))
+		for _, cores := range fig7Cores {
+			det, intv := results[i], results[i+1]
+			i += 2
 			if cores == 1 {
 				base = float64(det.Cycles)
 			}
@@ -179,15 +211,22 @@ func (o Opts) Fig8() Table {
 		Columns: []string{"benchmark", "config", "norm(det)", "norm(intv)",
 			"winner(det)", "winner(intv)"},
 	}
-	agree := 0
+	m2 := config.Default(2)
+	m4 := config.Stacked3D(4)
+	var scs []*simrun.Scenario
 	for _, p := range workload.PARSEC() {
 		q := p
-		m2 := config.Default(2)
-		m4 := config.Stacked3D(4)
-		det2 := o.runParsec(&q, multicore.Detailed, m2)
-		det4 := o.runParsec(&q, multicore.Detailed, m4)
-		intv2 := o.runParsec(&q, multicore.Interval, m2)
-		intv4 := o.runParsec(&q, multicore.Interval, m4)
+		scs = append(scs,
+			o.parsecScenario(&q, "detailed", m2),
+			o.parsecScenario(&q, "detailed", m4),
+			o.parsecScenario(&q, "interval", m2),
+			o.parsecScenario(&q, "interval", m4))
+	}
+	results := o.runAll(scs)
+
+	agree := 0
+	for i, p := range workload.PARSEC() {
+		det2, det4, intv2, intv4 := results[4*i], results[4*i+1], results[4*i+2], results[4*i+3]
 		base := float64(det2.Cycles)
 		baseI := float64(intv2.Cycles)
 		winD := "2c+L2"
@@ -214,7 +253,9 @@ func (o Opts) Fig8() Table {
 }
 
 // Fig9 regenerates Figure 9: interval-vs-detailed simulation speedup for
-// homogeneous SPEC multi-program runs at 1-8 cores (host wall-clock ratio).
+// homogeneous SPEC multi-program runs at 1-8 cores (host wall-clock
+// ratio). Speedup figures measure host time, so they always run
+// sequentially regardless of Opts.Jobs.
 func (o Opts) Fig9() Table {
 	t := Table{
 		ID:      "fig9",
@@ -226,8 +267,8 @@ func (o Opts) Fig9() Table {
 		q := p
 		row := []string{p.Name}
 		for _, cores := range []int{1, 2, 4, 8} {
-			det := o.runSpec(&q, multicore.Detailed, cores, memhier.Perfect{}, "")
-			intv := o.runSpec(&q, multicore.Interval, cores, memhier.Perfect{}, "")
+			det := o.runSpec(&q, "detailed", cores, memhier.Perfect{}, "")
+			intv := o.runSpec(&q, "interval", cores, memhier.Perfect{}, "")
 			s := metrics.Speedup(det.Wall.Seconds(), intv.Wall.Seconds())
 			all = append(all, s)
 			row = append(row, f2(s))
@@ -239,7 +280,8 @@ func (o Opts) Fig9() Table {
 	return t
 }
 
-// Fig10 regenerates Figure 10: simulation speedup for PARSEC runs.
+// Fig10 regenerates Figure 10: simulation speedup for PARSEC runs. As with
+// Fig9, the host-time measurement keeps this figure sequential.
 func (o Opts) Fig10() Table {
 	t := Table{
 		ID:      "fig10",
@@ -251,8 +293,8 @@ func (o Opts) Fig10() Table {
 		q := p
 		row := []string{p.Name}
 		for _, cores := range []int{1, 2, 4, 8} {
-			det := o.runParsec(&q, multicore.Detailed, config.Default(cores))
-			intv := o.runParsec(&q, multicore.Interval, config.Default(cores))
+			det := o.runParsec(&q, "detailed", config.Default(cores))
+			intv := o.runParsec(&q, "interval", config.Default(cores))
 			s := metrics.Speedup(det.Wall.Seconds(), intv.Wall.Seconds())
 			all = append(all, s)
 			row = append(row, f2(s))
@@ -274,12 +316,19 @@ func (o Opts) Ablation() Table {
 		Columns: []string{"benchmark", "detailed", "one-ipc", "interval",
 			"err(one-ipc)", "err(interval)"},
 	}
-	var oneSum, intvSum metrics.Summary
+	var scs []*simrun.Scenario
 	for _, p := range workload.SPEC() {
 		q := p
-		det := o.runSpec(&q, multicore.Detailed, 1, memhier.Perfect{}, "")
-		one := o.runSpec(&q, multicore.OneIPC, 1, memhier.Perfect{}, "")
-		intv := o.runSpec(&q, multicore.Interval, 1, memhier.Perfect{}, "")
+		scs = append(scs,
+			o.specScenario(&q, "detailed", 1, memhier.Perfect{}, ""),
+			o.specScenario(&q, "oneipc", 1, memhier.Perfect{}, ""),
+			o.specScenario(&q, "interval", 1, memhier.Perfect{}, ""))
+	}
+	results := o.runAll(scs)
+
+	var oneSum, intvSum metrics.Summary
+	for i, p := range workload.SPEC() {
+		det, one, intv := results[3*i], results[3*i+1], results[3*i+2]
 		oneSum.Add(p.Name, det.Cores[0].IPC, one.Cores[0].IPC)
 		intvSum.Add(p.Name, det.Cores[0].IPC, intv.Cores[0].IPC)
 		t.Rows = append(t.Rows, []string{

@@ -48,6 +48,12 @@ func (m Model) String() string {
 	}
 }
 
+// CoreFactory constructs the core model instance for core i. It receives
+// the per-core front-end and stream plus the shared memory hierarchy and
+// synchronization coordinator; everything else (machine config, ablation
+// switches) is expected to be captured by the closure.
+type CoreFactory func(i int, bp *branch.Unit, mem *memhier.Hierarchy, stream trace.Stream, coord sim.Syncer) sim.Core
+
 // RunConfig describes one simulation run.
 type RunConfig struct {
 	// Machine is the simulated hardware; Machine.Cores must equal the
@@ -55,6 +61,20 @@ type RunConfig struct {
 	Machine config.Machine
 	// Model selects the core timing model.
 	Model Model
+	// NewCore, when non-nil, overrides Model: the driver builds each core
+	// through it instead of the built-in enum switch. This is the hook
+	// the simrun model registry plugs into, so new core models need no
+	// driver changes.
+	NewCore CoreFactory
+	// ModelName labels Result.ModelName (defaults to Model.String());
+	// set it alongside NewCore so reports name the registered model.
+	ModelName string
+	// Interrupt, when non-nil, aborts the run early once the channel is
+	// closed (or receives). The driver polls it periodically; an
+	// interrupted run returns with Result.Interrupted set and whatever
+	// progress was made. Batch runners use this for cancellation and
+	// per-scenario timeouts.
+	Interrupt <-chan struct{}
 	// Perfect selects always-hit structures (Figure 4 experiments).
 	Perfect memhier.Perfect
 	// MaxCycles aborts runaway runs (0 = a generous default).
@@ -89,6 +109,9 @@ type CoreResult struct {
 // Result is the outcome of one multi-core run.
 type Result struct {
 	Model Model
+	// ModelName is the display name of the core model: RunConfig.ModelName
+	// when set (registered models), Model.String() otherwise.
+	ModelName string
 	// Cycles is the machine-level execution time: the time the last
 	// thread finished.
 	Cycles int64
@@ -100,11 +123,22 @@ type Result struct {
 	Wall time.Duration
 	// TimedOut is set when MaxCycles was reached before completion.
 	TimedOut bool
+	// Interrupted is set when RunConfig.Interrupt fired before completion.
+	Interrupted bool
 	// Sim holds the core model objects when RunConfig.KeepCores is set.
 	Sim []sim.Core
 	// Mem is the memory hierarchy when RunConfig.KeepCores is set (for
 	// post-run statistics reporting).
 	Mem *memhier.Hierarchy
+}
+
+// ModelLabel names the core model for display: ModelName when set, the
+// enum name otherwise (so hand-built Results keep working).
+func (r Result) ModelLabel() string {
+	if r.ModelName != "" {
+		return r.ModelName
+	}
+	return r.Model.String()
 }
 
 // MIPS returns simulated instructions per host second in millions.
@@ -145,6 +179,10 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 	cores := make([]sim.Core, cfg.Machine.Cores)
 	for i := range cores {
 		bp := bps[i]
+		if cfg.NewCore != nil {
+			cores[i] = cfg.NewCore(i, bp, mem, streams[i], coord)
+			continue
+		}
 		switch cfg.Model {
 		case Detailed:
 			cores[i] = ooo.New(i, cfg.Machine.Core, bp, mem, streams[i], coord)
@@ -157,13 +195,29 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 		}
 	}
 
-	res := Result{Model: cfg.Model, Cores: make([]CoreResult, len(cores))}
+	label := cfg.ModelName
+	if label == "" {
+		label = cfg.Model.String()
+	}
+	res := Result{Model: cfg.Model, ModelName: label, Cores: make([]CoreResult, len(cores))}
 	noted := make([]bool, len(cores))
 
 	start := time.Now()
 	now := int64(0)
 	n := len(cores)
-	for {
+	for iter := uint(0); ; iter++ {
+		// Poll the interrupt channel periodically, not every iteration:
+		// a channel select on the per-cycle path would be measurable.
+		if cfg.Interrupt != nil && iter&1023 == 0 {
+			select {
+			case <-cfg.Interrupt:
+				res.Interrupted = true
+			default:
+			}
+			if res.Interrupted {
+				break
+			}
+		}
 		allDone := true
 		// Rotate the stepping order each cycle: same-cycle races for the
 		// shared bus and L2 are then arbitrated round-robin instead of

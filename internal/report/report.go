@@ -19,9 +19,12 @@ import (
 func Format(res multicore.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "model=%s cycles=%d instructions=%d wall=%v (%.2f MIPS)\n",
-		res.Model, res.Cycles, res.TotalRetired, res.Wall, res.MIPS())
+		res.ModelLabel(), res.Cycles, res.TotalRetired, res.Wall, res.MIPS())
 	if res.TimedOut {
 		b.WriteString("WARNING: run hit the cycle limit\n")
+	}
+	if res.Interrupted {
+		b.WriteString("WARNING: run was interrupted before completing\n")
 	}
 
 	b.WriteString("cores:\n")

@@ -1,0 +1,116 @@
+package simrun
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/branch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/memhier"
+	"repro/internal/multicore"
+	"repro/internal/oneipc"
+	"repro/internal/ooo"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// CoreParams is everything a core-model factory gets to build one core:
+// the shared machine description and hierarchy plus the per-core front-end,
+// stream and synchronization hook.
+type CoreParams struct {
+	// ID is the core index.
+	ID int
+	// Machine is the resolved machine configuration.
+	Machine config.Machine
+	// Ablation carries the scenario's interval-model ablation switches;
+	// models that have no ablations ignore it.
+	Ablation core.Options
+	// Branch is this core's branch-prediction unit.
+	Branch *branch.Unit
+	// Mem is the shared memory hierarchy.
+	Mem *memhier.Hierarchy
+	// Stream is this core's instruction stream.
+	Stream trace.Stream
+	// Sync arbitrates barriers and locks between threads.
+	Sync sim.Syncer
+}
+
+// Factory builds one core-model instance. Register one per model name;
+// the driver calls it once per core.
+type Factory func(CoreParams) sim.Core
+
+var registry = struct {
+	sync.RWMutex
+	models map[string]Factory
+}{models: map[string]Factory{}}
+
+// RegisterModel makes a core model available to scenarios under name.
+// Registering a name twice (or an empty name or nil factory) panics: model
+// registration is program wiring, not user input. The built-in models
+// "interval", "detailed" and "oneipc" are pre-registered.
+func RegisterModel(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("simrun: RegisterModel needs a name and a factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.models[name]; dup {
+		panic(fmt.Sprintf("simrun: model %q registered twice", name))
+	}
+	registry.models[name] = f
+}
+
+// Models lists the registered model names, sorted.
+func Models() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.models))
+	for n := range registry.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupModel resolves a registered model name to its factory — useful for
+// wrapping or decorating an existing model under a new name.
+func LookupModel(name string) (Factory, error) {
+	registry.RLock()
+	f, ok := registry.models[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("simrun: unknown model %q (registered: %s)",
+			name, strings.Join(Models(), ", "))
+	}
+	return f, nil
+}
+
+func init() {
+	RegisterModel("interval", func(p CoreParams) sim.Core {
+		return core.NewWithOptions(p.ID, p.Machine.Core, p.Ablation, p.Branch, p.Mem, p.Stream, p.Sync)
+	})
+	RegisterModel("detailed", func(p CoreParams) sim.Core {
+		return ooo.New(p.ID, p.Machine.Core, p.Branch, p.Mem, p.Stream, p.Sync)
+	})
+	RegisterModel("oneipc", func(p CoreParams) sim.Core {
+		return oneipc.New(p.ID, p.Mem, p.Stream, p.Sync)
+	})
+}
+
+// legacyModel maps a built-in model name to the multicore enum so
+// Result.Model stays meaningful for the pre-registry API surface (reports,
+// benchmarks); registered models outside the enum report Interval's zero
+// value there and are distinguished by Result.ModelName.
+func legacyModel(name string) multicore.Model {
+	switch name {
+	case "detailed":
+		return multicore.Detailed
+	case "oneipc":
+		return multicore.OneIPC
+	default:
+		return multicore.Interval
+	}
+}

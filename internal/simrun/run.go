@@ -1,0 +1,100 @@
+package simrun
+
+import (
+	"context"
+
+	"repro/internal/branch"
+	"repro/internal/memhier"
+	"repro/internal/multicore"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	// Scenario is the scenario that produced this result.
+	Scenario *Scenario
+	multicore.Result
+}
+
+// buildStreams materializes the measured and warmup instruction streams,
+// one per core. Generators are stateful, so this is called once per Run:
+// every run starts from fresh, deterministic streams.
+func (s *Scenario) buildStreams() (streams, warm []trace.Stream) {
+	n := s.Threads()
+	switch {
+	case s.streams != nil:
+		return s.streams, s.warmStream
+	case len(s.mixped) > 0:
+		// Heterogeneous mix: each core runs its own single-threaded
+		// program instance with a per-core seed.
+		for i := 0; i < n; i++ {
+			p := s.mixped[i%len(s.mixped)]
+			streams = append(streams, trace.NewLimit(workload.New(p, 0, 1, s.seed+int64(i)), s.insts))
+			warm = append(warm, workload.New(p, 0, 1, s.seed+warmSeedOffset+int64(i)))
+		}
+		return streams, warm
+	case s.profile.MultiThreaded():
+		p := *s.profile
+		if s.scale > 0 && s.scale != 1 {
+			p.TotalWork = uint64(float64(p.TotalWork) * s.scale)
+		}
+		for i := 0; i < n; i++ {
+			streams = append(streams, workload.New(&p, i, n, s.seed))
+			warm = append(warm, workload.New(&p, i, n, s.seed+warmSeedOffset))
+		}
+		return streams, warm
+	default:
+		// SPEC-style: n copies (or threads) under a per-thread budget.
+		for i := 0; i < n; i++ {
+			streams = append(streams, trace.NewLimit(workload.New(s.profile, i, n, s.seed), s.insts))
+			warm = append(warm, workload.New(s.profile, i, n, s.seed+warmSeedOffset))
+		}
+		return streams, warm
+	}
+}
+
+// Run executes the scenario. Cancelling ctx interrupts the simulation at
+// the next driver poll and returns ctx's error alongside the partial
+// result.
+func (s *Scenario) Run(ctx context.Context) (Result, error) {
+	factory, err := LookupModel(s.model)
+	if err != nil {
+		return Result{Scenario: s}, err
+	}
+	machine, err := s.ResolvedMachine()
+	if err != nil {
+		return Result{Scenario: s}, err
+	}
+	streams, warm := s.buildStreams()
+
+	cfg := multicore.RunConfig{
+		Machine:     machine,
+		Model:       legacyModel(s.model),
+		ModelName:   s.model,
+		Perfect:     s.perfect,
+		MaxCycles:   s.maxCycles,
+		KeepCores:   s.keepCores,
+		WarmupInsts: s.warmup,
+		Warmup:      warm,
+		Ablation:    s.ablation,
+		Interrupt:   ctx.Done(),
+		NewCore: func(i int, bp *branch.Unit, mem *memhier.Hierarchy, stream trace.Stream, coord sim.Syncer) sim.Core {
+			return factory(CoreParams{
+				ID:       i,
+				Machine:  machine,
+				Ablation: s.ablation,
+				Branch:   bp,
+				Mem:      mem,
+				Stream:   stream,
+				Sync:     coord,
+			})
+		},
+	}
+	res := Result{Scenario: s, Result: multicore.Run(cfg, streams)}
+	if res.Interrupted {
+		return res, ctx.Err()
+	}
+	return res, nil
+}

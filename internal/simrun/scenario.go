@@ -1,0 +1,433 @@
+// Package simrun is the one way to describe and execute simulations: a
+// scenario builder with functional options, a core-model registry, and a
+// parallel batch runner.
+//
+// Every driver and example builds runs the same way:
+//
+//	s, err := simrun.New("gcc",
+//		simrun.Cores(4),
+//		simrun.Model("interval"),
+//		simrun.Fabric("mesh"),
+//		simrun.Insts(50_000),
+//	)
+//	res, err := s.Run(context.Background())
+//
+// New owns workload resolution (SPEC/PARSEC profiles, multi-program
+// copies, per-core mixes), warmup-twin stream construction and
+// machine-config knob application, and validates every knob eagerly so
+// command-line front ends can reject bad flags with one error check.
+// Batch executes a slice of scenarios across a host worker pool with
+// context cancellation, per-scenario timeouts and deterministic result
+// ordering.
+package simrun
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/memhier"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// warmSeedOffset separates the warmup-twin stream's seed from the measured
+// stream's: the twin trains the same predictor sites and touches the same
+// regions without replaying the exact future line sequence.
+const warmSeedOffset = 1000
+
+// Scenario is one fully described simulation run. Build it with New; the
+// zero value is not usable.
+type Scenario struct {
+	bench string
+	label string
+	model string
+
+	cores  int
+	copies int
+	mix    []string
+
+	insts  int
+	warmup int
+	seed   int64
+	scale  float64 // PARSEC TotalWork scale (1 = profile value)
+
+	machine    *config.Machine
+	configure  []func(*config.Machine)
+	perfect    memhier.Perfect
+	ablation   core.Options
+	keepCores  bool
+	maxCycles  int64
+	streams    []trace.Stream
+	warmStream []trace.Stream
+
+	// Resolved at New time.
+	profile *workload.Profile // nil when streams or mix are explicit
+	mixped  []*workload.Profile
+}
+
+// Option configures a Scenario; options are applied in order.
+type Option func(*Scenario) error
+
+// New builds a scenario for the named benchmark profile (SPEC or PARSEC).
+// bench may be empty only when Streams supplies the instruction streams
+// explicitly. All options are validated eagerly: unknown benchmark, model,
+// fabric, coherence, DRAM, prefetcher and predictor names are errors here,
+// not at run time.
+func New(bench string, opts ...Option) (*Scenario, error) {
+	// cores stays 0 unless the Cores option is given, so Threads can fall
+	// back to an explicit Machine's core count.
+	s := &Scenario{
+		bench: bench,
+		model: "interval",
+		insts: 100_000,
+		seed:  42,
+		scale: 1,
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := LookupModel(s.model); err != nil {
+		return nil, err
+	}
+	if err := s.resolveWorkload(); err != nil {
+		return nil, err
+	}
+	// Resolve the machine once so option typos surface before any run.
+	if _, err := s.ResolvedMachine(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New for program setup paths where a bad scenario is a bug.
+func MustNew(bench string, opts ...Option) *Scenario {
+	s, err := New(bench, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// resolveWorkload checks the benchmark name against the profile sets (or
+// the explicit stream/mix options) and remembers the resolution.
+func (s *Scenario) resolveWorkload() error {
+	switch {
+	case s.streams != nil:
+		return nil
+	case len(s.mix) > 0:
+		for _, name := range s.mix {
+			p := workload.SPECByName(name)
+			if p == nil {
+				return fmt.Errorf("simrun: unknown SPEC profile %q in mix", name)
+			}
+			s.mixped = append(s.mixped, p)
+		}
+		return nil
+	case s.bench == "":
+		return fmt.Errorf("simrun: no benchmark name and no explicit streams")
+	}
+	if p := workload.SPECByName(s.bench); p != nil {
+		s.profile = p
+		return nil
+	}
+	if p := workload.PARSECByName(s.bench); p != nil {
+		s.profile = p
+		return nil
+	}
+	return fmt.Errorf("simrun: unknown benchmark %q", s.bench)
+}
+
+// Threads is the number of simulated cores (= streams) the scenario runs.
+func (s *Scenario) Threads() int {
+	if s.streams != nil {
+		return len(s.streams)
+	}
+	if s.copies > 0 {
+		return s.copies
+	}
+	if s.cores > 0 {
+		return s.cores
+	}
+	if s.machine != nil {
+		return s.machine.Cores
+	}
+	return 1
+}
+
+// Name is the scenario's display label: the Label option when set, the
+// benchmark name otherwise.
+func (s *Scenario) Name() string {
+	if s.label != "" {
+		return s.label
+	}
+	return s.bench
+}
+
+// ModelName is the registered core-model name the scenario runs under.
+func (s *Scenario) ModelName() string { return s.model }
+
+// ResolvedMachine returns the machine configuration the scenario will
+// simulate: the explicit Machine base (or the Table 1 default sized to
+// Threads), with every knob option applied in order.
+func (s *Scenario) ResolvedMachine() (config.Machine, error) {
+	var m config.Machine
+	if s.machine != nil {
+		m = *s.machine
+	} else {
+		m = config.Default(s.Threads())
+	}
+	m.Cores = s.Threads()
+	for _, f := range s.configure {
+		f(&m)
+	}
+	return m, nil
+}
+
+// oneOf validates a knob value against its closed name set. The first
+// entry is the baseline; callers who want the baseline name it explicitly
+// (the options translate it to the config package's zero value).
+func oneOf(kind, v string, valid ...string) error {
+	for _, ok := range valid {
+		if v == ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("simrun: unknown %s %q (want %s)", kind, v, strings.Join(valid, ", "))
+}
+
+// Model selects the core timing model by registered name (see
+// RegisterModel); the built-ins are "interval", "detailed" and "oneipc".
+func Model(name string) Option {
+	return func(s *Scenario) error {
+		if _, err := LookupModel(name); err != nil {
+			return err
+		}
+		s.model = name
+		return nil
+	}
+}
+
+// Cores sets the simulated core count; PARSEC profiles run one thread per
+// core.
+func Cores(n int) Option {
+	return func(s *Scenario) error {
+		if n <= 0 {
+			return fmt.Errorf("simrun: cores must be positive, got %d", n)
+		}
+		s.cores = n
+		return nil
+	}
+}
+
+// Copies runs n copies of a SPEC profile as a multi-program workload, one
+// per core.
+func Copies(n int) Option {
+	return func(s *Scenario) error {
+		if n <= 0 {
+			return fmt.Errorf("simrun: copies must be positive, got %d", n)
+		}
+		s.copies = n
+		return nil
+	}
+}
+
+// Mix runs a heterogeneous multi-program workload: core i runs SPEC
+// profile names[i%len(names)] with a per-core seed (seed+i), the way the
+// fabric and NoC studies construct bandwidth-hungry mixes. Combine with
+// Cores to set the machine size (default: one core per name).
+func Mix(names ...string) Option {
+	return func(s *Scenario) error {
+		if len(names) == 0 {
+			return fmt.Errorf("simrun: empty mix")
+		}
+		s.mix = names
+		if s.cores == 0 {
+			s.cores = len(names)
+		}
+		return nil
+	}
+}
+
+// Insts sets the per-thread measured instruction budget for SPEC-style
+// profiles (PARSEC profiles carry their own work budget). Default 100000.
+func Insts(n int) Option {
+	return func(s *Scenario) error {
+		if n <= 0 {
+			return fmt.Errorf("simrun: insts must be positive, got %d", n)
+		}
+		s.insts = n
+		return nil
+	}
+}
+
+// Warmup functionally warms caches, TLBs and branch predictors with n
+// instructions per core (via a warmup-twin stream) before timed
+// simulation. Default 0: no warming.
+func Warmup(n int) Option {
+	return func(s *Scenario) error {
+		if n < 0 {
+			return fmt.Errorf("simrun: warmup must be non-negative, got %d", n)
+		}
+		s.warmup = n
+		return nil
+	}
+}
+
+// Seed selects the deterministic workload instance. Default 42.
+func Seed(seed int64) Option {
+	return func(s *Scenario) error { s.seed = seed; return nil }
+}
+
+// WorkScale scales a PARSEC profile's total work (1 = profile value), for
+// quick looks at multi-threaded benchmarks.
+func WorkScale(f float64) Option {
+	return func(s *Scenario) error {
+		if f <= 0 {
+			return fmt.Errorf("simrun: work scale must be positive, got %g", f)
+		}
+		s.scale = f
+		return nil
+	}
+}
+
+// Fabric selects the on-chip interconnect: "bus" (baseline), "mesh" or
+// "ring".
+func Fabric(name string) Option {
+	return func(s *Scenario) error {
+		if err := oneOf("fabric", name, "bus", "mesh", "ring"); err != nil {
+			return err
+		}
+		s.configure = append(s.configure, func(m *config.Machine) { m.Mem.Interconnect = name })
+		return nil
+	}
+}
+
+// Coherence selects the protocol: "moesi" (baseline), "mesi" or
+// "directory".
+func Coherence(name string) Option {
+	return func(s *Scenario) error {
+		if err := oneOf("coherence protocol", name, "moesi", "mesi", "directory"); err != nil {
+			return err
+		}
+		s.configure = append(s.configure, func(m *config.Machine) { m.Mem.Coherence = name })
+		return nil
+	}
+}
+
+// DRAM selects the main-memory model: "fixed" (baseline) or "banked".
+func DRAM(kind string) Option {
+	return func(s *Scenario) error {
+		if err := oneOf("DRAM model", kind, "fixed", "banked"); err != nil {
+			return err
+		}
+		s.configure = append(s.configure, func(m *config.Machine) {
+			if kind == "banked" {
+				m.Mem.DRAMKind = "banked"
+			} else {
+				m.Mem.DRAMKind = ""
+			}
+		})
+		return nil
+	}
+}
+
+// Prefetch selects the hardware prefetcher: "none" (baseline), "nextline"
+// or "stride" (degree 2 unless the machine is configured otherwise).
+func Prefetch(name string) Option {
+	return func(s *Scenario) error {
+		if err := oneOf("prefetcher", name, "none", "nextline", "stride"); err != nil {
+			return err
+		}
+		s.configure = append(s.configure, func(m *config.Machine) {
+			if name == "none" {
+				m.Mem.Prefetch = ""
+				return
+			}
+			m.Mem.Prefetch = name
+			if m.Mem.PrefetchDegree == 0 {
+				m.Mem.PrefetchDegree = 2
+			}
+		})
+		return nil
+	}
+}
+
+// Predictor selects the branch direction predictor: "local" (baseline),
+// "gshare", "bimodal", "tournament", "tage" or "perfect".
+func Predictor(kind string) Option {
+	return func(s *Scenario) error {
+		if err := oneOf("predictor", kind,
+			"local", "gshare", "bimodal", "tournament", "tage", "perfect"); err != nil {
+			return err
+		}
+		s.configure = append(s.configure, func(m *config.Machine) { m.Branch.Kind = kind })
+		return nil
+	}
+}
+
+// Machine replaces the Table 1 default with m as the base machine (its
+// core count is overridden to the scenario's thread count). Knob options
+// still apply on top.
+func Machine(m config.Machine) Option {
+	return func(s *Scenario) error { s.machine = &m; return nil }
+}
+
+// Configure applies an arbitrary machine tweak after the base machine and
+// knob options — the escape hatch for sweeps over structure sizes.
+func Configure(f func(*config.Machine)) Option {
+	return func(s *Scenario) error { s.configure = append(s.configure, f); return nil }
+}
+
+// Perfect selects always-hit structures (the paper's Figure 4 step-by-step
+// accuracy experiments).
+func Perfect(p memhier.Perfect) Option {
+	return func(s *Scenario) error { s.perfect = p; return nil }
+}
+
+// Ablation selects interval-model ablation variants (zero value = full
+// model); other models ignore it.
+func Ablation(o core.Options) Option {
+	return func(s *Scenario) error { s.ablation = o; return nil }
+}
+
+// KeepCores retains the core model objects and memory hierarchy in the
+// result for post-run inspection (CPI stacks, fabric and DRAM statistics).
+func KeepCores() Option {
+	return func(s *Scenario) error { s.keepCores = true; return nil }
+}
+
+// MaxCycles aborts runaway runs (0 = the driver's generous default).
+func MaxCycles(n int64) Option {
+	return func(s *Scenario) error {
+		if n < 0 {
+			return fmt.Errorf("simrun: max cycles must be non-negative, got %d", n)
+		}
+		s.maxCycles = n
+		return nil
+	}
+}
+
+// Streams supplies the instruction streams explicitly (recorded traces,
+// slice streams, statistical clones), bypassing benchmark resolution; warm
+// optionally supplies separate warmup streams. Streams are stateful, so a
+// scenario built this way can only run once.
+func Streams(streams, warm []trace.Stream) Option {
+	return func(s *Scenario) error {
+		if len(streams) == 0 {
+			return fmt.Errorf("simrun: empty stream set")
+		}
+		s.streams = streams
+		s.warmStream = warm
+		return nil
+	}
+}
+
+// Label overrides the scenario's display name (useful with Streams or
+// Mix, where the benchmark name alone does not describe the run).
+func Label(name string) Option {
+	return func(s *Scenario) error { s.label = name; return nil }
+}
