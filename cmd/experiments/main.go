@@ -9,16 +9,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
 )
 
 func main() {
+	// Ctrl-C / SIGTERM cancels the experiment batch; experiments unwind
+	// with ErrInterrupted, recovered here into a clean exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && err == experiments.ErrInterrupted {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
+			panic(r)
+		}
+	}()
 	var (
 		fig    = flag.String("fig", "", "figure to regenerate: 4a,4b,4c,4d,5,6,7,8,9,10,ablation")
 		all    = flag.Bool("all", false, "regenerate every figure")
@@ -35,6 +51,7 @@ func main() {
 	if *quick {
 		opts = experiments.Quick()
 	}
+	opts.Ctx = ctx
 	if *insts > 0 {
 		opts.Insts = *insts
 	}

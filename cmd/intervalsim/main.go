@@ -12,10 +12,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/report"
@@ -35,6 +38,7 @@ func main() {
 		list   = flag.Bool("list", false, "list available benchmark profiles")
 		stack  = flag.Bool("cpistack", false, "print per-core CPI stacks (interval model only)")
 		rep    = flag.Bool("report", false, "print the full post-run report (hierarchy, bus, DRAM, coherence)")
+		asJSON = flag.Bool("json", false, "print the machine-readable result summary (report.JSON)")
 
 		fabric    = flag.String("fabric", "bus", "on-chip interconnect: bus, mesh, ring")
 		coherence = flag.String("coherence", "moesi", "coherence protocol: moesi, mesi, directory")
@@ -79,7 +83,7 @@ func main() {
 	if *copies > 0 {
 		opts = append(opts, simrun.Copies(*copies))
 	}
-	if *stack || *rep {
+	if *stack || *rep || *asJSON {
 		opts = append(opts, simrun.KeepCores())
 	}
 	// simrun validates every knob eagerly: an unknown model, benchmark,
@@ -91,17 +95,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := s.Run(context.Background())
-	if err != nil {
+	// Ctrl-C / SIGTERM interrupts the run at the driver's next poll; the
+	// partial result is still printed (with its interrupted marker) so a
+	// long run cut short is not a total loss.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := s.Run(ctx)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *rep {
-		fmt.Print(report.Format(res.Result))
-		if res.TimedOut {
+	exit := 0
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "intervalsim: interrupted, printing partial results")
+		exit = 130
+	}
+	if *asJSON {
+		raw, err := report.JSON(res.Result)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return
+		fmt.Printf("%s\n", raw)
+		if res.TimedOut && exit == 0 {
+			exit = 1
+		}
+		os.Exit(exit)
+	}
+	if *rep {
+		fmt.Print(report.Format(res.Result))
+		if res.TimedOut && exit == 0 {
+			exit = 1
+		}
+		os.Exit(exit)
 	}
 
 	fmt.Printf("benchmark=%s model=%s cores=%d\n", *bench, res.ModelLabel(), s.Threads())
@@ -119,6 +146,9 @@ func main() {
 	}
 	if res.TimedOut {
 		fmt.Println("WARNING: run hit the cycle limit before completing")
-		os.Exit(1)
+		if exit == 0 {
+			exit = 1
+		}
 	}
+	os.Exit(exit)
 }

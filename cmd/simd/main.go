@@ -1,0 +1,94 @@
+// Command simd serves interval simulation as a service: submit declarative
+// scenario specs over HTTP, poll (or stream) job status, and let the
+// content-addressed result cache turn repeated design-space queries into
+// cache hits.
+//
+//	simd -addr :8080 -j 4 -queue-depth 64 -cache-dir /var/cache/simd
+//
+//	curl -s localhost:8080/v1/catalog
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"bench":"gcc","fabric":"mesh"}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -N  localhost:8080/v1/jobs/<id>/events
+//
+// SIGINT/SIGTERM stops accepting work, drains queued and in-flight jobs
+// (up to -drain-timeout) and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/simd"
+	"repro/internal/simrun"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		jobs    = flag.Int("j", 0, "host worker goroutines (0 = all host cores)")
+		depth   = flag.Int("queue-depth", 64, "bounded job-queue depth")
+		dir     = flag.String("cache-dir", "", "persist result payloads under this directory (empty = memory only)")
+		entries = flag.Int("cache-entries", 256, "in-memory result-cache capacity")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and in-flight jobs")
+	)
+	flag.Parse()
+
+	cache, err := simrun.NewCache(simrun.CacheOpts{
+		Entries: *entries,
+		Dir:     *dir,
+		Encode:  simd.Encode,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	server, err := simd.New(simd.Config{Workers: *jobs, QueueDepth: *depth, Cache: cache})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	httpServer := &http.Server{Addr: *addr, Handler: server.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	fmt.Printf("simd: listening on %s (workers=%d queue=%d cache=%d entries", *addr, *jobs, *depth, *entries)
+	if *dir != "" {
+		fmt.Printf(", dir=%s", *dir)
+	}
+	fmt.Println(")")
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal: a bad -addr or a
+		// port conflict.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("simd: draining…")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := server.Drain(drainCtx)
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "simd: drain incomplete: %v\n", drainErr)
+	}
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "simd: shutdown: %v\n", err)
+	}
+	<-errc // ListenAndServe has returned ErrServerClosed
+	fmt.Println("simd: bye")
+	if drainErr != nil {
+		os.Exit(1)
+	}
+}

@@ -16,14 +16,22 @@
 // the sequential run.
 //
 //	go run ./cmd/sweep -sweep core -profiles gcc,mcf,swim -j 8
+//
+// Alternatively, -f sweep.json runs a declarative scenario batch: a
+// simrun.SpecFile of shared defaults plus one spec per scenario — the
+// same wire format the simd service accepts, so a service query is
+// copy-pasteable into a batch file and vice versa.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/simrun"
@@ -32,6 +40,7 @@ import (
 func main() {
 	var (
 		sweep    = flag.String("sweep", "core", "design-space sweep: core, l2, fabric, dram")
+		file     = flag.String("f", "", "run a declarative scenario batch from this spec file instead of a built-in sweep")
 		profiles = flag.String("profiles", "gcc,mcf,swim", "comma-separated benchmark profiles")
 		insts    = flag.Int("n", 50_000, "measured instructions per run")
 		warm     = flag.Int("warmup", 300_000, "functional warmup instructions per run")
@@ -41,8 +50,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels the batch: in-flight scenarios stop at
+	// the driver's next poll and the sweep exits instead of running on.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := &sweeper{ctx: ctx, insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs}
+	if *file != "" {
+		s.sweepFile(*file)
+		return
+	}
 	names := strings.Split(*profiles, ",")
-	s := &sweeper{insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs}
 	switch *sweep {
 	case "core":
 		s.sweepCore(names)
@@ -59,6 +77,7 @@ func main() {
 }
 
 type sweeper struct {
+	ctx         context.Context
 	insts, warm int
 	seed        int64
 	detailed    bool
@@ -90,14 +109,50 @@ func (s *sweeper) point(name, model string, tweak func(*config.Machine)) *simrun
 // run executes the scenarios across the host worker pool and returns the
 // results in input order, exiting on the first failure.
 func (s *sweeper) run(scs []*simrun.Scenario) []simrun.BatchResult {
-	results := simrun.Batch(context.Background(), scs, simrun.BatchOpts{Workers: s.jobs})
+	results := simrun.Batch(s.ctx, scs, simrun.BatchOpts{Workers: s.jobs})
 	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sweep: interrupted")
+			os.Exit(130)
+		}
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", r.Scenario.Name(), r.Err)
 			os.Exit(1)
 		}
 	}
 	return results
+}
+
+// sweepFile runs the declarative batch in the named simrun.SpecFile and
+// prints one row per scenario.
+func (s *sweeper) sweepFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// The sizing flags back up the file: a scenario (or the file's
+	// defaults) that omits insts/warmup/seed runs with -n/-warmup/-seed
+	// rather than the builder's defaults.
+	seed := s.seed
+	scs, err := simrun.LoadSpecs(f, simrun.Spec{Insts: s.insts, Warmup: s.warm, Seed: &seed})
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("== scenario batch: %s (%d scenarios) ==\n", path, len(scs))
+	fmt.Printf("%-28s %-10s %6s %12s %10s\n", "scenario", "model", "cores", "cycles", "IPC")
+	for _, r := range s.run(scs) {
+		res := r.Result
+		var ipc float64
+		if res.Cycles > 0 {
+			ipc = float64(res.TotalRetired) / float64(res.Cycles)
+		}
+		fmt.Printf("%-28s %-10s %6d %12d %10.3f\n",
+			r.Scenario.Name(), res.ModelLabel(), r.Scenario.Threads(), res.Cycles, ipc)
+	}
 }
 
 // grid runs one scenario per (row, profile) cell — plus a detailed-model

@@ -1,0 +1,115 @@
+// Service: run the simd simulation service in-process and drive it the
+// way a design-space exploration client would — submit scenarios over
+// HTTP, poll for results, and watch the content-addressed result cache
+// turn a repeated query into a byte-identical cache hit.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/simd"
+	"repro/internal/simrun"
+)
+
+func main() {
+	cache, err := simrun.NewCache(simrun.CacheOpts{Encode: simd.Encode})
+	check(err)
+	server, err := simd.New(simd.Config{Workers: 2, Cache: cache})
+	check(err)
+
+	// Serve on an ephemeral local port, exactly like `cmd/simd -addr`.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	httpServer := &http.Server{Handler: server.Handler()}
+	go httpServer.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("simd serving on %s\n\n", base)
+
+	// Two identical submissions plus one variant: the service runs two
+	// simulations, not three.
+	specs := []string{
+		`{"bench":"gcc","insts":50000,"warmup":100000,"fabric":"mesh"}`,
+		`{"bench":"gcc","insts":50000,"warmup":100000,"fabric":"mesh"}`,
+		`{"bench":"gcc","insts":50000,"warmup":100000,"fabric":"ring"}`,
+	}
+	var bodies [][]byte
+	for i, spec := range specs {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+		check(err)
+		var doc struct {
+			ID          string `json:"id"`
+			Fingerprint string `json:"fingerprint"`
+		}
+		check(json.NewDecoder(resp.Body).Decode(&doc))
+		resp.Body.Close()
+		fmt.Printf("submit %d: HTTP %d job=%s fingerprint=%s…\n",
+			i+1, resp.StatusCode, doc.ID, doc.Fingerprint[:12])
+		bodies = append(bodies, waitDone(base, doc.ID))
+	}
+
+	fmt.Println()
+	fmt.Printf("identical submissions share one job and one result: bodies equal = %v\n",
+		bytes.Equal(bodies[0], bodies[1]))
+	stats := server.CacheStats()
+	fmt.Printf("cache: runs=%d hits=%d (3 submissions, 2 distinct scenarios)\n\n",
+		stats.Runs, stats.Hits)
+
+	var ipc struct {
+		Result struct {
+			Cores []struct {
+				IPC float64 `json:"ipc"`
+			} `json:"cores"`
+		} `json:"result"`
+	}
+	for i, body := range bodies {
+		check(json.Unmarshal(body, &ipc))
+		fmt.Printf("job %d IPC=%.3f\n", i+1, ipc.Result.Cores[0].IPC)
+	}
+
+	// The cmd/simd SIGTERM path: stop accepting, finish everything.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	check(server.Drain(ctx))
+	check(httpServer.Shutdown(ctx))
+	fmt.Println("\ndrained and shut down cleanly")
+}
+
+// waitDone polls the job until it reaches a terminal state and returns
+// the final response body.
+func waitDone(base, id string) []byte {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		check(err)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		check(err)
+		var doc struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		check(json.Unmarshal(body, &doc))
+		switch doc.Status {
+		case "done":
+			return body
+		case "failed":
+			panic("job failed: " + doc.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -25,6 +26,10 @@ import (
 // SimPoints; the synthetic substrate reaches steady state much sooner, so
 // the defaults are far smaller while preserving every qualitative result.
 type Opts struct {
+	// Ctx, when non-nil, cancels runs in flight (Ctrl-C handling in
+	// cmd/experiments): cancellation panics with ErrInterrupted, which
+	// front ends recover into a clean exit.
+	Ctx context.Context
 	// Insts is the per-thread instruction budget for SPEC-style runs.
 	Insts int
 	// Warmup is the functional warmup length per core.
@@ -159,13 +164,37 @@ func (o Opts) runParsec(p *workload.Profile, model string, m config.Machine) mul
 	return o.one(o.parsecScenario(p, model, m))
 }
 
+// ErrInterrupted is the panic value raised when Opts.Ctx is cancelled
+// mid-experiment. Experiments are static tables driven through deep call
+// chains, so cancellation unwinds as a panic; cmd front ends recover it
+// and exit cleanly instead of printing a half-finished figure.
+var ErrInterrupted = errors.New("experiments: interrupted")
+
+// ctx returns the run context.
+func (o Opts) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// checkRunErr separates cancellation (unwound as ErrInterrupted) from
+// real failures (bugs: the scenarios are static tables).
+func checkRunErr(name string, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		panic(ErrInterrupted)
+	}
+	panic(fmt.Sprintf("experiments: %s: %v", name, err))
+}
+
 // one executes a single scenario; experiment scenarios are built from
 // static tables, so a failure is a bug, not an input error.
 func (o Opts) one(s *simrun.Scenario) multicore.Result {
-	res, err := s.Run(context.Background())
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", s.Name(), err))
-	}
+	res, err := s.Run(o.ctx())
+	checkRunErr(s.Name(), err)
 	return res.Result
 }
 
@@ -176,12 +205,10 @@ func (o Opts) runAll(scs []*simrun.Scenario) []multicore.Result {
 	if jobs <= 0 {
 		jobs = 1
 	}
-	batch := simrun.Batch(context.Background(), scs, simrun.BatchOpts{Workers: jobs})
+	batch := simrun.Batch(o.ctx(), scs, simrun.BatchOpts{Workers: jobs})
 	out := make([]multicore.Result, len(batch))
 	for i, r := range batch {
-		if r.Err != nil {
-			panic(fmt.Sprintf("experiments: %s: %v", r.Scenario.Name(), r.Err))
-		}
+		checkRunErr(r.Scenario.Name(), r.Err)
 		out[i] = r.Result.Result
 	}
 	return out

@@ -1,0 +1,217 @@
+package simd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/simrun"
+	"repro/internal/workload"
+)
+
+// Encode is the service's canonical result encoding: the deterministic
+// report.JSON summary. It is the cache's payload encoder, so cached and
+// fresh results are byte-identical.
+func Encode(res simrun.Result) ([]byte, error) {
+	return report.JSON(res.Result)
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON serves v with the API's standard headers.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(raw)
+	w.Write([]byte("\n"))
+}
+
+// writeError serves the API's error shape.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := simrun.ParseSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, dup, err := s.SubmitSpec(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		var bad *BadRequestError
+		if errors.As(err, &bad) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	doc := job.Doc()
+	w.Header().Set("Location", "/v1/jobs/"+doc.ID)
+	status := http.StatusAccepted
+	if dup {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, doc)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	docs := s.Jobs()
+	type item struct {
+		ID     string `json:"id"`
+		Status Status `json:"status"`
+	}
+	items := make([]item, len(docs))
+	for i, d := range docs {
+		items[i] = item{ID: d.ID, Status: d.Status}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": items})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("simd: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Doc())
+}
+
+// handleEvents streams job-status transitions as server-sent events: one
+// "status" event per transition, starting with the current state, ending
+// after the terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("simd: no such job"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("simd: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	events := job.Subscribe()
+	for {
+		select {
+		case doc, open := <-events:
+			if !open {
+				return
+			}
+			raw, err := json.Marshal(doc)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: status\ndata: %s\n\n", raw)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Catalog describes everything a client can ask the service to simulate.
+type Catalog struct {
+	Models     []string            `json:"models"`
+	Knobs      map[string][]string `json:"knobs"`
+	Benchmarks CatalogBenchmarks   `json:"benchmarks"`
+}
+
+// CatalogBenchmarks lists the benchmark profiles by suite.
+type CatalogBenchmarks struct {
+	SPEC   []string `json:"spec"`
+	PARSEC []string `json:"parsec"`
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	cat := Catalog{
+		Models: simrun.Models(),
+		Knobs:  simrun.Knobs(),
+	}
+	for _, p := range workload.SPEC() {
+		cat.Benchmarks.SPEC = append(cat.Benchmarks.SPEC, p.Name)
+	}
+	for _, p := range workload.PARSEC() {
+		cat.Benchmarks.PARSEC = append(cat.Benchmarks.PARSEC, p.Name)
+	}
+	sort.Strings(cat.Benchmarks.SPEC)
+	sort.Strings(cat.Benchmarks.PARSEC)
+	writeJSON(w, http.StatusOK, cat)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves Prometheus-style text counters: service traffic,
+// queue occupancy and the result cache's hit/miss/dedup counts.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.CacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counters := []struct {
+		name  string
+		help  string
+		value uint64
+	}{
+		{"simd_jobs_submitted_total", "Jobs accepted (new scenarios).", s.submitted.Load()},
+		{"simd_jobs_deduplicated_total", "Submissions joined onto an existing job.", s.deduped.Load()},
+		{"simd_jobs_rejected_total", "Submissions rejected because the queue was full.", s.rejected.Load()},
+		{"simd_jobs_completed_total", "Jobs finished successfully.", s.completed.Load()},
+		{"simd_jobs_failed_total", "Jobs that errored.", s.failed.Load()},
+		{"simd_queue_depth", "Jobs waiting for a worker.", uint64(s.QueueLen())},
+		{"simd_cache_runs_total", "Simulator executions (cache misses).", cs.Runs},
+		{"simd_cache_hits_total", "In-memory result-cache hits.", cs.Hits},
+		{"simd_cache_disk_hits_total", "Persistent-store hits.", cs.DiskHits},
+		{"simd_cache_flight_waits_total", "Callers that piggybacked on an in-flight run.", cs.Waits},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			c.name, c.help, c.name, metricType(c.name), c.name, c.value)
+	}
+}
+
+// metricType distinguishes the one gauge from the counters.
+func metricType(name string) string {
+	if name == "simd_queue_depth" {
+		return "gauge"
+	}
+	return "counter"
+}

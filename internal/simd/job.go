@@ -1,0 +1,146 @@
+package simd
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/simrun"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued: accepted, waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning: a worker is simulating (or waiting on an identical
+	// in-flight run).
+	StatusRunning Status = "running"
+	// StatusDone: finished; the result payload is available.
+	StatusDone Status = "done"
+	// StatusFailed: the run errored; Error says why.
+	StatusFailed Status = "failed"
+)
+
+// terminal reports whether the status is final.
+func (s Status) terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// JobDoc is the job representation served by the API. Result is the
+// canonical report.JSON payload, so a done job's result is byte-identical
+// to a direct simrun.Run + report.JSON of the same scenario.
+type JobDoc struct {
+	ID          string          `json:"id"`
+	Status      Status          `json:"status"`
+	Fingerprint string          `json:"fingerprint"`
+	Spec        simrun.Spec     `json:"spec"`
+	Cache       string          `json:"cache,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+// Job is one submitted scenario making its way through the queue. Jobs
+// are content-addressed: the ID derives from the scenario fingerprint, so
+// identical submissions share one job.
+type Job struct {
+	id          string
+	fingerprint string
+	spec        simrun.Spec
+	scenario    *simrun.Scenario
+
+	mu      sync.Mutex
+	status  Status
+	source  simrun.CacheSource
+	errMsg  string
+	payload []byte
+	subs    []chan JobDoc
+	done    chan struct{}
+}
+
+func newJob(id, fingerprint string, spec simrun.Spec, sc *simrun.Scenario) *Job {
+	return &Job{
+		id:          id,
+		fingerprint: fingerprint,
+		spec:        spec,
+		scenario:    sc,
+		status:      StatusQueued,
+		done:        make(chan struct{}),
+	}
+}
+
+// Doc snapshots the job for serving.
+func (j *Job) Doc() JobDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.docLocked()
+}
+
+func (j *Job) docLocked() JobDoc {
+	return JobDoc{
+		ID:          j.id,
+		Status:      j.status,
+		Fingerprint: j.fingerprint,
+		Spec:        j.spec,
+		Cache:       string(j.source),
+		Error:       j.errMsg,
+		Result:      j.payload,
+	}
+}
+
+// Done unblocks when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// setStatus transitions the job and notifies subscribers. Terminal
+// transitions close the done channel and every subscription.
+func (j *Job) setStatus(status Status, source simrun.CacheSource, payload []byte, errMsg string) {
+	j.mu.Lock()
+	if j.status.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	j.source = source
+	j.payload = payload
+	j.errMsg = errMsg
+	doc := j.docLocked()
+	subs := j.subs
+	if status.terminal() {
+		j.subs = nil
+	}
+	j.mu.Unlock()
+
+	for _, ch := range subs {
+		// Subscriptions are buffered beyond the number of possible
+		// transitions, so sends never block; the guard is belt and
+		// braces against a misbehaving subscriber.
+		select {
+		case ch <- doc:
+		default:
+		}
+		if status.terminal() {
+			close(ch)
+		}
+	}
+	if status.terminal() {
+		close(j.done)
+	}
+}
+
+// Subscribe returns a channel that immediately yields the current state
+// and then every transition; it is closed after the terminal state is
+// delivered. A job has at most three further transitions, so the buffer
+// makes delivery non-blocking — which is also why the initial send can
+// (and must) happen under the lock: once j.subs holds the channel, a
+// concurrent terminal setStatus may send to and close it, so the
+// current-state send has to be ordered before registration is visible.
+func (j *Job) Subscribe() <-chan JobDoc {
+	ch := make(chan JobDoc, 8)
+	j.mu.Lock()
+	ch <- j.docLocked()
+	if j.status.terminal() {
+		close(ch)
+	} else {
+		j.subs = append(j.subs, ch)
+	}
+	j.mu.Unlock()
+	return ch
+}

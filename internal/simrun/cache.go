@@ -1,0 +1,289 @@
+package simrun
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheSource says where a GetOrRun result came from.
+type CacheSource string
+
+const (
+	// SourceRun: a cache miss; the simulator executed the scenario.
+	SourceRun CacheSource = "run"
+	// SourceMemory: served from the in-memory LRU.
+	SourceMemory CacheSource = "memory"
+	// SourceDisk: served from the persistent payload store. Only the
+	// encoded payload survives a process restart, so Result is zero.
+	SourceDisk CacheSource = "disk"
+	// SourceFlight: an identical scenario was already running; this
+	// caller waited for it and shares its result.
+	SourceFlight CacheSource = "flight"
+	// SourceUncached: the scenario has no fingerprint (explicit
+	// streams), so it ran directly and was not stored.
+	SourceUncached CacheSource = "uncached"
+)
+
+// CacheEntry is one cached (or just-computed) scenario outcome.
+type CacheEntry struct {
+	// Key is the scenario fingerprint ("" for uncacheable scenarios).
+	Key string
+	// Source says how the entry was obtained.
+	Source CacheSource
+	// Result is the full run result. Zero when the entry was restored
+	// from the persistent store (Source SourceDisk, and later
+	// SourceMemory/SourceFlight hits of such entries): live core models
+	// do not survive a restart, only the payload does.
+	Result Result
+	// Payload is the canonical encoding of the result under
+	// CacheOpts.Encode (nil when no encoder is configured). Identical
+	// scenarios always see byte-identical payloads.
+	Payload []byte
+}
+
+// CacheStats counts cache traffic. Runs is the number of times the
+// simulator actually executed — the dedup guarantee under test is
+// "identical submissions, Runs == 1".
+type CacheStats struct {
+	Runs     uint64 // simulator executions (misses)
+	Hits     uint64 // in-memory LRU hits
+	DiskHits uint64 // persistent-store hits
+	Waits    uint64 // callers that piggybacked on an in-flight run
+	Uncached uint64 // scenarios without a fingerprint, run directly
+}
+
+// CacheOpts configures NewCache.
+type CacheOpts struct {
+	// Entries bounds the in-memory LRU (<=0 selects 256).
+	Entries int
+	// Dir, when non-empty, persists encoded payloads as
+	// <dir>/<fingerprint>.json so identical scenarios hit across
+	// process restarts. Requires Encode.
+	Dir string
+	// Encode renders a result to its canonical payload (for example
+	// report.JSON). Required for Dir; optional otherwise.
+	Encode func(Result) ([]byte, error)
+}
+
+// Cache is a content-addressed result cache over scenario fingerprints:
+// an in-memory LRU of full results, an optional on-disk payload store,
+// and singleflight deduplication so N concurrent submissions of the same
+// scenario cost one simulation.
+type Cache struct {
+	entries int
+	dir     string
+	encode  func(Result) ([]byte, error)
+
+	mu     sync.Mutex
+	lru    *list.List               // of *cacheSlot, front = most recent
+	byKey  map[string]*list.Element // fingerprint -> lru element
+	flight map[string]*flightCall   // fingerprint -> in-flight run
+
+	runs, hits, diskHits, waits, uncached atomic.Uint64
+}
+
+type cacheSlot struct {
+	key     string
+	result  Result
+	payload []byte
+}
+
+type flightCall struct {
+	done  chan struct{}
+	entry CacheEntry
+	err   error
+}
+
+// NewCache builds a cache. With a Dir, the directory is created eagerly
+// so a bad path fails at startup, not on the first store.
+func NewCache(opts CacheOpts) (*Cache, error) {
+	if opts.Dir != "" && opts.Encode == nil {
+		return nil, fmt.Errorf("simrun: cache Dir requires an Encode function")
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("simrun: cache dir: %w", err)
+		}
+	}
+	entries := opts.Entries
+	if entries <= 0 {
+		entries = 256
+	}
+	return &Cache{
+		entries: entries,
+		dir:     opts.Dir,
+		encode:  opts.Encode,
+		lru:     list.New(),
+		byKey:   map[string]*list.Element{},
+		flight:  map[string]*flightCall{},
+	}, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Runs:     c.runs.Load(),
+		Hits:     c.hits.Load(),
+		DiskHits: c.diskHits.Load(),
+		Waits:    c.waits.Load(),
+		Uncached: c.uncached.Load(),
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// GetOrRun returns the cached outcome of s, running the simulation on a
+// miss. Lookup order: in-memory LRU, disk store, an identical in-flight
+// run (the caller then waits for it), and finally a fresh run. Scenarios
+// without a fingerprint (explicit streams) run directly, uncached.
+//
+// Cancelling ctx cancels this caller's wait or run; a piggybacking waiter
+// whose leader fails or is cancelled receives the leader's error.
+func (c *Cache) GetOrRun(ctx context.Context, s *Scenario) (CacheEntry, error) {
+	key, err := s.Fingerprint()
+	if err != nil {
+		c.uncached.Add(1)
+		res, runErr := s.Run(ctx)
+		return CacheEntry{Source: SourceUncached, Result: res}, runErr
+	}
+
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		slot := el.Value.(*cacheSlot)
+		entry := CacheEntry{Key: key, Source: SourceMemory, Result: slot.result, Payload: slot.payload}
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return entry, nil
+	}
+	if fl, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		c.waits.Add(1)
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				return CacheEntry{Key: key, Source: SourceFlight}, fl.err
+			}
+			entry := fl.entry
+			entry.Source = SourceFlight
+			return entry, nil
+		case <-ctx.Done():
+			return CacheEntry{Key: key, Source: SourceFlight}, ctx.Err()
+		}
+	}
+	// Miss in memory: become the flight leader for this key, then check
+	// the disk store and finally simulate — both outside the lock, so
+	// slow I/O never serializes other cache traffic, and concurrent
+	// identical requests dedup onto one disk read or run.
+	fl := &flightCall{done: make(chan struct{})}
+	c.flight[key] = fl
+	c.mu.Unlock()
+
+	entry, runErr := c.fill(ctx, key, s)
+	fl.entry, fl.err = entry, runErr
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return entry, runErr
+}
+
+// fill resolves a miss as the flight leader: the persistent store first,
+// then a fresh run. Disk hits are promoted into the in-memory LRU
+// (payload only) so repeated requests after a restart stop touching disk.
+func (c *Cache) fill(ctx context.Context, key string, s *Scenario) (CacheEntry, error) {
+	if payload, ok := c.loadDisk(key); ok {
+		c.diskHits.Add(1)
+		c.store(key, Result{}, payload)
+		return CacheEntry{Key: key, Source: SourceDisk, Payload: payload}, nil
+	}
+	return c.runAndStore(ctx, key, s)
+}
+
+// runAndStore executes the scenario and, on success, encodes and stores
+// the result in the LRU and the disk store.
+func (c *Cache) runAndStore(ctx context.Context, key string, s *Scenario) (CacheEntry, error) {
+	c.runs.Add(1)
+	res, err := s.Run(ctx)
+	entry := CacheEntry{Key: key, Source: SourceRun, Result: res}
+	if err != nil {
+		return entry, err
+	}
+	if c.encode != nil {
+		payload, encErr := c.encode(res)
+		if encErr != nil {
+			return entry, fmt.Errorf("simrun: cache encode: %w", encErr)
+		}
+		entry.Payload = payload
+	}
+	c.store(key, res, entry.Payload)
+	c.storeDisk(key, entry.Payload)
+	return entry, nil
+}
+
+// store inserts an entry at the front of the LRU, evicting from the back.
+func (c *Cache) store(key string, res Result, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&cacheSlot{key: key, result: res, payload: payload})
+	c.byKey[key] = el
+	for c.lru.Len() > c.entries {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheSlot).key)
+	}
+}
+
+// diskPath is the content address on disk: one file per fingerprint.
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// loadDisk reads a persisted payload. Called without c.mu: the flight
+// entry for key already serializes identical lookups.
+func (c *Cache) loadDisk(key string) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	payload, err := os.ReadFile(c.diskPath(key))
+	if err != nil || len(payload) == 0 {
+		return nil, false
+	}
+	return payload, true
+}
+
+// storeDisk persists a payload with a write-then-rename so readers never
+// observe a torn file. Store failures are ignored: the disk layer is an
+// optimization, never a correctness dependency.
+func (c *Cache) storeDisk(key string, payload []byte) {
+	if c.dir == "" || payload == nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.diskPath(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,80 @@
+package simrun
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/memhier"
+)
+
+// fingerprintVersion invalidates every stored fingerprint when the
+// simulated semantics of a scenario change (new knob, changed default):
+// bump it and old cache entries simply stop matching.
+const fingerprintVersion = 1
+
+// fingerprintBody is the canonical serialization the fingerprint hashes.
+// It captures everything that determines the simulated outcome — the
+// fully-resolved machine, the workload selection and sizing, the model
+// name and the result shape (keepCores) — and nothing that does not: the
+// display label and host-side settings (batch workers, timeouts) are
+// deliberately absent.
+type fingerprintBody struct {
+	Version   int             `json:"v"`
+	Model     string          `json:"model"`
+	Bench     string          `json:"bench"`
+	Mix       []string        `json:"mix,omitempty"`
+	Threads   int             `json:"threads"`
+	Insts     int             `json:"insts"`
+	Warmup    int             `json:"warmup"`
+	Seed      int64           `json:"seed"`
+	Scale     float64         `json:"scale"`
+	MaxCycles int64           `json:"max_cycles"`
+	KeepCores bool            `json:"keep_cores"`
+	Perfect   memhier.Perfect `json:"perfect"`
+	Ablation  core.Options    `json:"ablation"`
+	Machine   config.Machine  `json:"machine"`
+}
+
+// Fingerprint returns the scenario's content address: a deterministic
+// SHA-256 (hex) of the fully-resolved scenario and machine configuration.
+// Two scenarios with the same fingerprint simulate identically, however
+// differently they were spelled (explicit Machine vs knob options,
+// defaulted vs explicit seed). Scenarios built from explicit Streams are
+// stateful and have no fingerprint.
+func (s *Scenario) Fingerprint() (string, error) {
+	if s.streams != nil {
+		return "", fmt.Errorf("simrun: scenario %q uses explicit streams and cannot be fingerprinted", s.Name())
+	}
+	m, err := s.ResolvedMachine()
+	if err != nil {
+		return "", err
+	}
+	body := fingerprintBody{
+		Version:   fingerprintVersion,
+		Model:     s.model,
+		Bench:     s.bench,
+		Mix:       s.mix,
+		Threads:   s.Threads(),
+		Insts:     s.insts,
+		Warmup:    s.warmup,
+		Seed:      s.seed,
+		Scale:     s.scale,
+		MaxCycles: s.maxCycles,
+		KeepCores: s.keepCores,
+		Perfect:   s.perfect,
+		Ablation:  s.ablation,
+		Machine:   m,
+	}
+	// encoding/json marshals struct fields in declaration order, so the
+	// serialization is canonical for a given fingerprintVersion.
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return "", fmt.Errorf("simrun: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -187,10 +187,32 @@ func (s *Scenario) ResolvedMachine() (config.Machine, error) {
 	return m, nil
 }
 
-// oneOf validates a knob value against its closed name set. The first
-// entry is the baseline; callers who want the baseline name it explicitly
-// (the options translate it to the config package's zero value).
-func oneOf(kind, v string, valid ...string) error {
+// The closed knob-value sets. The first entry of each is the baseline;
+// the options translate it to the config package's zero value. Knobs
+// exposes them to discovery front ends (the simd catalog), so the lists
+// served to users are the lists the options validate against.
+var knobSets = map[string][]string{
+	"fabric":    {"bus", "mesh", "ring"},
+	"coherence": {"moesi", "mesi", "directory"},
+	"dram":      {"fixed", "banked"},
+	"prefetch":  {"none", "nextline", "stride"},
+	"predictor": {"local", "gshare", "bimodal", "tournament", "tage", "perfect"},
+}
+
+// Knobs returns the closed knob-value sets by knob name (fabric,
+// coherence, dram, prefetch, predictor), baseline first. The returned
+// slices are copies.
+func Knobs() map[string][]string {
+	out := make(map[string][]string, len(knobSets))
+	for k, v := range knobSets {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// oneOf validates a knob value against its closed name set.
+func oneOf(kind, knob, v string) error {
+	valid := knobSets[knob]
 	for _, ok := range valid {
 		if v == ok {
 			return nil
@@ -298,7 +320,7 @@ func WorkScale(f float64) Option {
 // "ring".
 func Fabric(name string) Option {
 	return func(s *Scenario) error {
-		if err := oneOf("fabric", name, "bus", "mesh", "ring"); err != nil {
+		if err := oneOf("fabric", "fabric", name); err != nil {
 			return err
 		}
 		s.configure = append(s.configure, func(m *config.Machine) { m.Mem.Interconnect = name })
@@ -310,7 +332,7 @@ func Fabric(name string) Option {
 // "directory".
 func Coherence(name string) Option {
 	return func(s *Scenario) error {
-		if err := oneOf("coherence protocol", name, "moesi", "mesi", "directory"); err != nil {
+		if err := oneOf("coherence protocol", "coherence", name); err != nil {
 			return err
 		}
 		s.configure = append(s.configure, func(m *config.Machine) { m.Mem.Coherence = name })
@@ -321,7 +343,7 @@ func Coherence(name string) Option {
 // DRAM selects the main-memory model: "fixed" (baseline) or "banked".
 func DRAM(kind string) Option {
 	return func(s *Scenario) error {
-		if err := oneOf("DRAM model", kind, "fixed", "banked"); err != nil {
+		if err := oneOf("DRAM model", "dram", kind); err != nil {
 			return err
 		}
 		s.configure = append(s.configure, func(m *config.Machine) {
@@ -339,7 +361,7 @@ func DRAM(kind string) Option {
 // or "stride" (degree 2 unless the machine is configured otherwise).
 func Prefetch(name string) Option {
 	return func(s *Scenario) error {
-		if err := oneOf("prefetcher", name, "none", "nextline", "stride"); err != nil {
+		if err := oneOf("prefetcher", "prefetch", name); err != nil {
 			return err
 		}
 		s.configure = append(s.configure, func(m *config.Machine) {
@@ -360,8 +382,7 @@ func Prefetch(name string) Option {
 // "gshare", "bimodal", "tournament", "tage" or "perfect".
 func Predictor(kind string) Option {
 	return func(s *Scenario) error {
-		if err := oneOf("predictor", kind,
-			"local", "gshare", "bimodal", "tournament", "tage", "perfect"); err != nil {
+		if err := oneOf("predictor", "predictor", kind); err != nil {
 			return err
 		}
 		s.configure = append(s.configure, func(m *config.Machine) { m.Branch.Kind = kind })

@@ -1,0 +1,133 @@
+package simrun
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecScenarioMatchesOptions(t *testing.T) {
+	raw := `{
+		"bench": "gcc",
+		"model": "interval",
+		"cores": 2,
+		"insts": 5000,
+		"warmup": 1000,
+		"seed": 7,
+		"fabric": "mesh",
+		"predictor": "gshare",
+		"report": true
+	}`
+	spec, err := ParseSpec(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSpec, err := spec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromOpts, err := New("gcc",
+		Model("interval"), Cores(2), Insts(5000), Warmup(1000), Seed(7),
+		Fabric("mesh"), Predictor("gshare"), KeepCores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fromSpec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fromOpts.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("spec-built and option-built scenarios differ: %s vs %s", a, b)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec(strings.NewReader(`{"bench":"gcc","predcitor":"tage"}`)); err == nil {
+		t.Fatal("misspelled field was accepted")
+	}
+}
+
+func TestSpecScenarioValidates(t *testing.T) {
+	for name, raw := range map[string]string{
+		"bench":  `{"bench":"no-such-benchmark"}`,
+		"model":  `{"bench":"gcc","model":"quantum"}`,
+		"fabric": `{"bench":"gcc","fabric":"torus"}`,
+		"cores":  `{"bench":"gcc","cores":-1}`,
+	} {
+		spec, err := ParseSpec(strings.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := spec.Scenario(); err == nil {
+			t.Errorf("%s: invalid spec %s built a scenario", name, raw)
+		}
+	}
+}
+
+func TestLoadSpecsAppliesDefaults(t *testing.T) {
+	raw := `{
+		"defaults": {"insts": 5000, "warmup": 1000, "fabric": "mesh"},
+		"scenarios": [
+			{"bench": "gcc"},
+			{"bench": "mcf", "fabric": "ring"}
+		]
+	}`
+	scs, err := LoadSpecs(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(scs))
+	}
+	// gcc inherits the mesh default; mcf overrides it with ring.
+	m0, err := scs[0].ResolvedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Mem.Interconnect != "mesh" {
+		t.Errorf("scenario 1 fabric = %q, want mesh (default)", m0.Mem.Interconnect)
+	}
+	m1, err := scs[1].ResolvedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Mem.Interconnect != "ring" {
+		t.Errorf("scenario 2 fabric = %q, want ring (override)", m1.Mem.Interconnect)
+	}
+}
+
+// Base specs (a front end's sizing flags) back up the file's defaults:
+// file fields win, base fills the gaps.
+func TestLoadSpecsBaseDefaults(t *testing.T) {
+	seed := int64(9)
+	base := Spec{Insts: 3000, Warmup: 500, Seed: &seed}
+	scs, err := LoadSpecs(strings.NewReader(
+		`{"defaults":{"warmup":8000},"scenarios":[{"bench":"gcc"}]}`), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scs[0].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MustNew("gcc", Insts(3000), Warmup(8000), Seed(9)).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("base defaults not applied: fingerprint %s, want %s", got, want)
+	}
+}
+
+func TestLoadSpecsErrors(t *testing.T) {
+	if _, err := LoadSpecs(strings.NewReader(`{"scenarios":[]}`)); err == nil {
+		t.Error("empty scenario list was accepted")
+	}
+	_, err := LoadSpecs(strings.NewReader(`{"scenarios":[{"bench":"gcc"},{"bench":"bogus"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "scenario 2") {
+		t.Errorf("error does not name the offending entry: %v", err)
+	}
+}
