@@ -122,6 +122,49 @@ func BenchmarkMemHierData(b *testing.B) {
 	}
 }
 
+// BenchmarkIntervalSteadyState measures the steady-state per-instruction
+// cost of the interval core with real miss-event simulators, after the
+// window and the hand-off ring are primed. It must report 0 allocs/op: the
+// core's steady state is allocation-free (run with -benchmem).
+func BenchmarkIntervalSteadyState(b *testing.B) {
+	m := config.Default(1)
+	p := workload.SPECByName("gcc")
+	mem := memhier.New(1, m.Mem, memhier.Perfect{})
+	bp := branch.NewUnit(m.Branch)
+	c := core.New(0, m.Core, bp, mem, workload.New(p, 0, 1, 42), sim.NullSyncer{})
+	var now int64
+	for c.Retired() < 10_000 {
+		c.Step(now)
+		now = c.NextActive(now + 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := c.Retired()
+	for c.Retired()-start < uint64(b.N) {
+		c.Step(now)
+		now = c.NextActive(now + 1)
+	}
+}
+
+// BenchmarkIntervalReplay measures the timing model over a pre-recorded
+// trace — the trace-driven hand-off of the paper's framework, with the
+// functional simulator out of the timed loop (batched bulk copies feed the
+// window).
+func BenchmarkIntervalReplay(b *testing.B) {
+	p := workload.SPECByName("gcc")
+	tr := trace.Record(workload.New(p, 0, 1, 42), 200_000)
+	b.ReportAllocs()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		res := multicore.Run(multicore.RunConfig{
+			Machine: config.Default(1),
+			Model:   multicore.Interval,
+		}, []trace.Stream{trace.NewSliceStream(tr)})
+		insts += int64(res.TotalRetired)
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "simMIPS")
+}
+
 // BenchmarkIntervalDispatch measures the per-instruction cost of the
 // analytical core model alone (perfect structures).
 func BenchmarkIntervalDispatch(b *testing.B) {

@@ -21,12 +21,19 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
+// main delegates to run so deferred profile writers execute before the
+// process exits with run's status code.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		bench  = flag.String("bench", "", "benchmark profile name")
 		model  = flag.String("model", "interval", "core model: "+strings.Join(simrun.Models(), ", "))
@@ -45,8 +52,17 @@ func main() {
 		dram      = flag.String("dram", "fixed", "main-memory model: fixed, banked")
 		prefetch  = flag.String("prefetch", "none", "prefetcher: none, nextline, stride")
 		predictor = flag.String("predictor", "local", "direction predictor: local, gshare, bimodal, tournament, tage, perfect")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	flush, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer flush()
 
 	if *list {
 		fmt.Println("SPEC CPU2000-like (single-threaded):")
@@ -57,15 +73,15 @@ func main() {
 		for _, p := range workload.PARSEC() {
 			fmt.Printf("  %s\n", p.Name)
 		}
-		return
+		return 0
 	}
 	if *bench == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if *stack && *model != "interval" {
 		fmt.Fprintln(os.Stderr, "-cpistack requires -model interval")
-		os.Exit(2)
+		return 2
 	}
 
 	opts := []simrun.Option{
@@ -92,7 +108,7 @@ func main() {
 	s, err := simrun.New(*bench, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	// Ctrl-C / SIGTERM interrupts the run at the driver's next poll; the
@@ -104,7 +120,7 @@ func main() {
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	exit := 0
 	if interrupted {
@@ -115,20 +131,20 @@ func main() {
 		raw, err := report.JSON(res.Result)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%s\n", raw)
 		if res.TimedOut && exit == 0 {
 			exit = 1
 		}
-		os.Exit(exit)
+		return exit
 	}
 	if *rep {
 		fmt.Print(report.Format(res.Result))
 		if res.TimedOut && exit == 0 {
 			exit = 1
 		}
-		os.Exit(exit)
+		return exit
 	}
 
 	fmt.Printf("benchmark=%s model=%s cores=%d\n", *bench, res.ModelLabel(), s.Threads())
@@ -150,5 +166,5 @@ func main() {
 			exit = 1
 		}
 	}
-	os.Exit(exit)
+	return exit
 }

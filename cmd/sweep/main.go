@@ -34,8 +34,14 @@ import (
 	"syscall"
 
 	"repro/internal/config"
+	"repro/internal/prof"
 	"repro/internal/simrun"
 )
+
+// exitWith terminates the process; main replaces it with a version that
+// flushes any active profiles first, so error and interrupt exits still
+// leave usable profile files.
+var exitWith = os.Exit
 
 func main() {
 	var (
@@ -47,8 +53,26 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload generation seed")
 		detailed = flag.Bool("detailed", false, "cross-check each point with the detailed model (slow)")
 		jobs     = flag.Int("j", 1, "host worker goroutines (0 = all host cores)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (written on normal exit)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on normal exit")
 	)
 	flag.Parse()
+
+	// Profiles so future perf work on the sweep paths starts from data.
+	// flush runs on every exit path — including errors and the SIGINT 130
+	// exit, where a profile of the long run is most wanted — via the
+	// exitWith indirection used by all error handling below.
+	flush, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer flush()
+	exitWith = func(code int) {
+		flush()
+		os.Exit(code)
+	}
 
 	// Ctrl-C / SIGTERM cancels the batch: in-flight scenarios stop at
 	// the driver's next poll and the sweep exits instead of running on.
@@ -72,7 +96,7 @@ func main() {
 		s.sweepDRAM(names)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sweep %q (want core, l2, fabric or dram)\n", *sweep)
-		os.Exit(2)
+		exitWith(2)
 	}
 }
 
@@ -90,7 +114,7 @@ func scenario(bench string, opts ...simrun.Option) *simrun.Scenario {
 	sc, err := simrun.New(bench, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exitWith(2)
 	}
 	return sc
 }
@@ -113,11 +137,11 @@ func (s *sweeper) run(scs []*simrun.Scenario) []simrun.BatchResult {
 	for _, r := range results {
 		if errors.Is(r.Err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "sweep: interrupted")
-			os.Exit(130)
+			exitWith(130)
 		}
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", r.Scenario.Name(), r.Err)
-			os.Exit(1)
+			exitWith(1)
 		}
 	}
 	return results
@@ -129,7 +153,7 @@ func (s *sweeper) sweepFile(path string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exitWith(2)
 	}
 	// The sizing flags back up the file: a scenario (or the file's
 	// defaults) that omits insts/warmup/seed runs with -n/-warmup/-seed
@@ -139,7 +163,7 @@ func (s *sweeper) sweepFile(path string) {
 	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", path, err)
-		os.Exit(2)
+		exitWith(2)
 	}
 
 	fmt.Printf("== scenario batch: %s (%d scenarios) ==\n", path, len(scs))

@@ -8,10 +8,13 @@ import (
 
 // BTB is the branch target buffer: a set-associative tag store mapping
 // branch PCs to targets. A taken branch whose target is absent from the BTB
-// is a misfetch even when the direction was predicted correctly.
+// is a misfetch even when the direction was predicted correctly. The tag
+// store is the structural cache model; targets live in a sidecar array
+// indexed by the frame the tag occupies, so the per-branch lookup is an
+// array read instead of a map access.
 type BTB struct {
 	inner   *cache.Cache
-	targets map[uint64]uint64
+	targets []uint64
 }
 
 // NewBTB creates a BTB with the given entry count and associativity.
@@ -23,30 +26,30 @@ func NewBTB(entries, assoc int) *BTB {
 		Assoc:     assoc,
 		LineSize:  4,
 	})
-	return &BTB{inner: inner, targets: make(map[uint64]uint64)}
+	return &BTB{inner: inner, targets: make([]uint64, inner.Frames())}
 }
 
 // Lookup reports whether the BTB holds a target for pc and whether that
 // target matches the architectural target.
 func (b *BTB) Lookup(pc, target uint64) (present, match bool) {
-	key := pc &^ 3
-	if b.inner.Access(key, false) {
-		return true, b.targets[key] == target
+	if hit, way := b.inner.AccessWay(pc&^3, false); hit {
+		return true, b.targets[way] == target
 	}
 	return false, false
 }
 
 // Update installs target for pc.
 func (b *BTB) Update(pc, target uint64) {
-	key := pc &^ 3
-	b.inner.Fill(key, false)
-	b.targets[key] = target
+	_, way := b.inner.FillWay(pc&^3, false)
+	b.targets[way] = target
 }
 
 // Reset restores the power-on state.
 func (b *BTB) Reset() {
 	b.inner.Reset()
-	b.targets = make(map[uint64]uint64)
+	for i := range b.targets {
+		b.targets[i] = 0
+	}
 }
 
 // RAS is the return address stack. It is a circular stack: pushes beyond

@@ -14,13 +14,19 @@ import (
 	"repro/internal/config"
 )
 
-// line is one cache line frame.
+// line is one cache line frame: the tag word packs the tag with the valid
+// and dirty bits (bits 0 and 1), so a frame is 16 bytes and a 4-way set
+// scans a single host cache line. Simulated addresses stay well below 62
+// tag bits. lru is the last-use stamp; larger is more recent.
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // last-use stamp; larger is more recent
+	key uint64 // tag<<2 | dirty<<1 | valid
+	lru uint64
 }
+
+const (
+	lineValid = 1 << 0
+	lineDirty = 1 << 1
+)
 
 // Cache is a set-associative cache with true-LRU replacement. It is a
 // structural model: Access and Probe report presence, Fill inserts lines
@@ -30,6 +36,7 @@ type Cache struct {
 	sets     [][]line
 	setShift uint
 	setMask  uint64
+	tagShift uint // log2(number of sets), hoisted off the access path
 	stamp    uint64
 
 	// Statistics.
@@ -59,6 +66,7 @@ func New(cfg config.Cache) *Cache {
 		sets:     sets,
 		setShift: uint(log2(cfg.LineSize)),
 		setMask:  uint64(nsets - 1),
+		tagShift: uint(log2(nsets)),
 	}
 }
 
@@ -74,6 +82,10 @@ func log2(v int) int {
 // Config returns the cache geometry.
 func (c *Cache) Config() config.Cache { return c.cfg }
 
+// Frames returns the total number of line frames (sets × associativity);
+// it bounds the way indices returned by AccessWay and FillWay.
+func (c *Cache) Frames() int { return len(c.sets) * c.cfg.Assoc }
+
 // LineAddr returns the line-aligned address containing addr.
 func (c *Cache) LineAddr(addr uint64) uint64 {
 	return addr &^ (uint64(c.cfg.LineSize) - 1)
@@ -81,7 +93,7 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	blk := addr >> c.setShift
-	return blk & c.setMask, blk >> uint(log2(len(c.sets)))
+	return blk & c.setMask, blk >> c.tagShift
 }
 
 // Access looks up addr, updating LRU state and statistics. write marks the
@@ -95,31 +107,47 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 // line already dirty (in which case the coherence state must already be
 // Modified and no protocol action is needed — a hot-path shortcut).
 func (c *Cache) AccessRW(addr uint64, write bool) (hit, wasDirty bool) {
+	hit, wasDirty, _ = c.accessWay(addr, write)
+	return hit, wasDirty
+}
+
+// AccessWay is Access additionally returning the hit frame's global way
+// index (set*assoc + way), so sidecar payload arrays (the BTB's targets)
+// can live outside the cache without a map. The index is meaningful only on
+// a hit.
+func (c *Cache) AccessWay(addr uint64, write bool) (hit bool, way int) {
+	hit, _, way = c.accessWay(addr, write)
+	return hit, way
+}
+
+func (c *Cache) accessWay(addr uint64, write bool) (hit, wasDirty bool, way int) {
 	set, tag := c.index(addr)
 	c.stamp++
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
+	ways := c.sets[set]
+	want := tag<<2 | lineValid
+	for i := range ways {
+		ln := &ways[i]
+		if k := ln.key; k&^lineDirty == want {
 			ln.lru = c.stamp
-			wasDirty = ln.dirty
+			wasDirty = k&lineDirty != 0
 			if write {
-				ln.dirty = true
+				ln.key = k | lineDirty
 			}
 			c.Hits++
-			return true, wasDirty
+			return true, wasDirty, int(set)*len(ways) + i
 		}
 	}
 	c.Misses++
-	return false, false
+	return false, false, 0
 }
 
 // Probe reports whether addr is present without updating LRU state or
 // statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
+	want := tag<<2 | lineValid
 	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
+		if c.sets[set][i].key&^lineDirty == want {
 			return true
 		}
 	}
@@ -137,23 +165,33 @@ type Victim struct {
 // full. dirty marks the inserted line dirty (write-allocate store miss).
 // The returned victim is valid only if an existing line was displaced.
 func (c *Cache) Fill(addr uint64, dirty bool) Victim {
+	v, _ := c.FillWay(addr, dirty)
+	return v
+}
+
+// FillWay is Fill additionally returning the global way index (set*assoc +
+// way) of the frame the line now occupies — the refreshed frame when the
+// line was already present, the filled frame otherwise.
+func (c *Cache) FillWay(addr uint64, dirty bool) (Victim, int) {
 	set, tag := c.index(addr)
 	c.stamp++
 	ways := c.sets[set]
+	want := tag<<2 | lineValid
 	victimIdx := 0
 	var oldest uint64 = ^uint64(0)
 	for i := range ways {
 		ln := &ways[i]
-		if ln.valid && ln.tag == tag {
+		k := ln.key
+		if k&^lineDirty == want {
 			// Already present (e.g. filled by an overlapping miss);
 			// refresh it.
 			ln.lru = c.stamp
 			if dirty {
-				ln.dirty = true
+				ln.key = k | lineDirty
 			}
-			return Victim{}
+			return Victim{}, int(set)*len(ways) + i
 		}
-		if !ln.valid {
+		if k&lineValid == 0 {
 			victimIdx = i
 			oldest = 0
 			break
@@ -165,32 +203,35 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 	}
 	ln := &ways[victimIdx]
 	var v Victim
-	if ln.valid {
+	if k := ln.key; k&lineValid != 0 {
 		v = Victim{
-			Addr:  (ln.tag<<uint(log2(len(c.sets))) | set) << c.setShift,
-			Dirty: ln.dirty,
+			Addr:  (k>>2<<c.tagShift | set) << c.setShift,
+			Dirty: k&lineDirty != 0,
 			Valid: true,
 		}
 		c.Evictions++
-		if ln.dirty {
+		if v.Dirty {
 			c.WriteBack++
 		}
 	}
-	*ln = line{tag: tag, valid: true, dirty: dirty, lru: c.stamp}
-	return v
+	key := tag<<2 | lineValid
+	if dirty {
+		key |= lineDirty
+	}
+	*ln = line{key: key, lru: c.stamp}
+	return v, int(set)*len(ways) + victimIdx
 }
 
 // Invalidate removes the line containing addr if present, returning whether
 // it was present and whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set, tag := c.index(addr)
+	want := tag<<2 | lineValid
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
-			present, dirty = true, ln.dirty
-			ln.valid = false
-			ln.dirty = false
-			return present, dirty
+		if k := ln.key; k&^lineDirty == want {
+			ln.key = 0
+			return true, k&lineDirty != 0
 		}
 	}
 	return false, false
@@ -199,10 +240,11 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // Clean clears the dirty bit of the line containing addr if present.
 func (c *Cache) Clean(addr uint64) {
 	set, tag := c.index(addr)
+	want := tag<<2 | lineValid
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
-			ln.dirty = false
+		if ln.key&^lineDirty == want {
+			ln.key &^= lineDirty
 			return
 		}
 	}
@@ -233,7 +275,7 @@ func (c *Cache) ValidLines() int {
 	n := 0
 	for s := range c.sets {
 		for i := range c.sets[s] {
-			if c.sets[s][i].valid {
+			if c.sets[s][i].key&lineValid != 0 {
 				n++
 			}
 		}
@@ -248,13 +290,14 @@ func (c *Cache) DuplicateTags() bool {
 		seen := make(map[uint64]bool, len(c.sets[s]))
 		for i := range c.sets[s] {
 			ln := &c.sets[s][i]
-			if !ln.valid {
+			if ln.key&lineValid == 0 {
 				continue
 			}
-			if seen[ln.tag] {
+			tag := ln.key >> 2
+			if seen[tag] {
 				return true
 			}
-			seen[ln.tag] = true
+			seen[tag] = true
 		}
 	}
 	return false

@@ -9,19 +9,18 @@ import (
 	"repro/internal/trace"
 )
 
-// winEntry is one instruction in the in-flight window, with the overlap
-// marks of Figure 3 (I_overlapped, br_overlapped, D_overlapped).
-type winEntry struct {
-	inst isa.Inst
-	iOv  bool
-	brOv bool
-	dOv  bool
-	// brChecked records that the branch predictor was already consulted
-	// during an overlap scan (it must not be trained twice); brMisp is
-	// the recorded outcome.
-	brChecked bool
-	brMisp    bool
-}
+// Per-instruction window marks of Figure 3 (I_overlapped, br_overlapped,
+// D_overlapped), packed into one byte of the flags ring.
+const (
+	flagIOv uint8 = 1 << iota
+	flagBrOv
+	flagDOv
+	// flagBrChecked records that the branch predictor was already
+	// consulted during an overlap scan (it must not be trained twice);
+	// flagBrMisp is the recorded outcome.
+	flagBrChecked
+	flagBrMisp
+)
 
 // Core is one interval-simulated core: the mechanistic analytical model
 // driven by the shared branch predictor and memory hierarchy simulators.
@@ -34,15 +33,23 @@ type Core struct {
 	maxLL  int // outstanding long-latency load budget per overlap scan
 	bp     *branch.Unit
 	mem    *memhier.Hierarchy
-	src    trace.Stream
+	batch  trace.BatchStream
 	syncer sim.Syncer
 
-	// The window corresponds to the reorder buffer; instructions enter
-	// at the tail from the functional simulator and are considered at
-	// the head (Figure 2). A ring buffer.
-	win     []winEntry
-	winHead int
-	winLen  int
+	// The window corresponds to the reorder buffer; instructions enter at
+	// the tail from the functional simulator and are considered at the
+	// head (Figure 2). It is a view into the hand-off ring: the stream
+	// writes chunks directly into fbuf via NextBatch, and the window is
+	// the first winLen of the filled entries — no per-instruction copy
+	// between the functional and timing sides. flags carries the overlap
+	// marks, parallel to fbuf.
+	fbuf   []isa.Inst
+	flags  []uint8
+	fmask  int
+	fhead  int // ring index of the window head
+	winLen int // window occupancy (= ROB content)
+	filled int // buffered instructions in the ring, including the window
+	winCap int // logical window capacity (ROBSize)
 
 	old *OldWindow
 
@@ -50,6 +57,7 @@ type Core struct {
 	oldBase    int64   // core time of the last old-window flush
 	sinceLL    int64   // instructions dispatched since the last long-latency event
 	dispCredit float64 // fractional dispatch budget carryover
+	creditCap  float64 // 2*DecodeWidth, precomputed
 
 	srcDone    bool
 	retired    uint64
@@ -62,8 +70,11 @@ type Core struct {
 	lastILine uint64
 
 	// taintLines carries memory dependences during the overlap scan.
-	taintRegs  [isa.NumRegs]bool
-	taintLines map[uint64]bool
+	// taintRegs is indexed directly by operand byte: slot RegNone (0xFF)
+	// is never written and always false, so the scan needs no "is there
+	// an operand" branches.
+	taintRegs  [256]bool
+	taintLines lineSet
 
 	// stack accumulates attributed penalty cycles for the CPI stack;
 	// Stack() derives the base component as the residual.
@@ -101,20 +112,34 @@ func NewWithOptions(id int, cfg config.Core, opts Options, bp *branch.Unit, mem 
 	if maxLL <= 0 {
 		maxLL = 32
 	}
-	return &Core{
+	ring := fetchBatch
+	if min := ceilPow2(2 * cfg.ROBSize); ring < min {
+		ring = min
+	}
+	c := &Core{
 		id:         id,
 		cfg:        cfg,
 		opts:       opts,
 		maxLL:      maxLL,
 		bp:         bp,
 		mem:        mem,
-		src:        src,
+		batch:      trace.Batched(src),
 		syncer:     syncer,
-		win:        make([]winEntry, cfg.ROBSize),
+		fbuf:       make([]isa.Inst, ring),
+		flags:      make([]uint8, ring),
+		fmask:      ring - 1,
+		winCap:     cfg.ROBSize,
+		creditCap:  2 * float64(cfg.DecodeWidth),
 		old:        NewOldWindow(cfg),
-		taintLines: make(map[uint64]bool),
+		taintLines: newLineSet(cfg.ROBSize),
 	}
+	return c
 }
+
+// fetchBatch is the functional→timing hand-off ring size: large enough to
+// amortize the stream call, small enough to stay cache-resident. The ring
+// is grown to hold at least two ROBs when the ROB is outsized.
+const fetchBatch = 1024
 
 // Retired implements sim.Core.
 func (c *Core) Retired() uint64 { return c.retired }
@@ -150,30 +175,42 @@ func (c *Core) IPC() float64 {
 	return float64(c.retired) / float64(c.coreTime)
 }
 
-// fill tops up the window from the functional simulator.
+// fill tops up the window from the functional simulator. Entries already
+// buffered in the ring join the window with a one-byte flag reset; the
+// stream is consulted only when the ring runs dry, one contiguous chunk at
+// a time, writing straight into the ring.
 func (c *Core) fill() {
-	for c.winLen < len(c.win) && !c.srcDone {
-		in, ok := c.src.Next()
-		if !ok {
-			c.srcDone = true
-			return
+	fg := c.flags
+	for c.winLen < c.winCap {
+		if c.filled == c.winLen {
+			if c.srcDone {
+				return
+			}
+			pos := (c.fhead + c.filled) & c.fmask
+			span := len(c.fbuf) - c.filled
+			if cont := len(c.fbuf) - pos; cont < span {
+				span = cont
+			}
+			k := c.batch.NextBatch(c.fbuf[pos : pos+span])
+			if k == 0 {
+				c.srcDone = true
+				return
+			}
+			c.filled += k
 		}
-		c.win[(c.winHead+c.winLen)%len(c.win)] = winEntry{inst: in}
+		fg[(c.fhead+c.winLen)&(len(fg)-1)] = 0
 		c.winLen++
 	}
 }
 
-func (c *Core) head() *winEntry {
-	return &c.win[c.winHead]
-}
-
-func (c *Core) at(i int) *winEntry {
-	return &c.win[(c.winHead+i)%len(c.win)]
+func (c *Core) head() *isa.Inst {
+	return &c.fbuf[c.fhead]
 }
 
 func (c *Core) pop() {
-	c.winHead = (c.winHead + 1) % len(c.win)
+	c.fhead = (c.fhead + 1) & c.fmask
 	c.winLen--
+	c.filled--
 }
 
 // Step implements sim.Core: the per-core body of the Figure 3 loop for one
@@ -185,7 +222,9 @@ func (c *Core) Step(now int64) {
 		return
 	}
 	c.Cycles++
-	c.fill()
+	if c.winLen < c.winCap {
+		c.fill()
+	}
 	if c.winLen == 0 {
 		if c.srcDone {
 			c.done = true
@@ -197,10 +236,11 @@ func (c *Core) Step(now int64) {
 	}
 
 	c.dispCredit += c.old.DispatchRate()
-	if c.dispCredit > 2*float64(c.cfg.DecodeWidth) {
-		c.dispCredit = 2 * float64(c.cfg.DecodeWidth)
+	if c.dispCredit > c.creditCap {
+		c.dispCredit = c.creditCap
 	}
 	blocked := false
+	fg := c.flags
 	for c.coreTime == now && c.dispCredit >= 1 && c.winLen > 0 {
 		if !c.dispatchHead() {
 			// Blocked on synchronization: retry next cycle.
@@ -209,7 +249,15 @@ func (c *Core) Step(now int64) {
 			break
 		}
 		c.dispCredit--
-		c.fill()
+		// Refill the freed window slot straight from the ring when an
+		// instruction is already buffered (the common case); fall back to
+		// fill for chunk refills and end-of-stream.
+		if c.filled > c.winLen && c.winLen < c.winCap {
+			fg[(c.fhead+c.winLen)&(len(fg)-1)] = 0
+			c.winLen++
+		} else if c.winLen < c.winCap {
+			c.fill()
+		}
 	}
 	if c.coreTime == now {
 		c.coreTime++
@@ -239,8 +287,8 @@ func (c *Core) flushOld() {
 // returns false when the instruction is a synchronization operation that
 // must stall.
 func (c *Core) dispatchHead() bool {
-	e := c.head()
-	in := &e.inst
+	in := c.head()
+	fl := c.flags[c.fhead]
 
 	if in.Class.IsSync() {
 		dec := c.syncer.Sync(c.id, in, c.coreTime)
@@ -263,7 +311,7 @@ func (c *Core) dispatchHead() bool {
 
 	// Handle I-cache and I-TLB (lines 11–18). Fetch is line-granular:
 	// only the first instruction on each line accesses the I-cache.
-	if line := in.PC >> 6; !e.iOv && line != c.lastILine {
+	if line := in.PC >> 6; fl&flagIOv == 0 && line != c.lastILine {
 		c.lastILine = line
 		ires := c.mem.Inst(c.id, in.PC, c.coreTime)
 		if ires.Latency > 0 {
@@ -279,9 +327,9 @@ func (c *Core) dispatchHead() bool {
 	// Handle branch prediction (lines 20–28). A branch already checked
 	// during an overlap scan reuses the recorded outcome instead of
 	// training the predictor twice.
-	if in.Class.IsBranch() && !e.brOv {
-		misp := e.brMisp
-		if !e.brChecked {
+	if in.Class.IsBranch() && fl&flagBrOv == 0 {
+		misp := fl&flagBrMisp != 0
+		if fl&flagBrChecked == 0 {
 			misp = c.bp.Predict(in)
 		}
 		if misp {
@@ -305,7 +353,7 @@ func (c *Core) dispatchHead() bool {
 	}
 
 	// Handle loads and stores (lines 30–53).
-	if in.Class == isa.Store || (in.Class == isa.Load && !e.dOv) {
+	if in.Class == isa.Store || (in.Class == isa.Load && fl&flagDOv == 0) {
 		res := c.mem.Data(c.id, in.Addr, in.Class == isa.Store, c.coreTime)
 		if in.Class == isa.Load {
 			if res.LongLatency() {
@@ -428,9 +476,7 @@ func (c *Core) scanOverlap(load *isa.Inst, headLatency int64) {
 	for i := range c.taintRegs {
 		c.taintRegs[i] = false
 	}
-	for k := range c.taintLines {
-		delete(c.taintLines, k)
-	}
+	c.taintLines.clear()
 	if load.HasDst() {
 		c.taintRegs[load.Dst] = true
 	}
@@ -441,51 +487,73 @@ func (c *Core) scanOverlap(load *isa.Inst, headLatency int64) {
 	// of outstanding long-latency loads are supported").
 	outstanding := 1
 
+	fb, fg := c.fbuf, c.flags
+	tr := &c.taintRegs
+	noTaint := c.opts.NoTaint
+	hidden := uint64(0)
 	for i := 1; i < c.winLen; i++ {
-		e := c.at(i)
-		in := &e.inst
+		idx := (c.fhead + i) & (len(fb) - 1)
+		in := &fb[idx]
+		fl0 := fg[idx&(len(fg)-1)]
+		fl := fl0
 
 		if in.Class == isa.Serializing || in.Class.IsSync() {
 			break
 		}
 
-		if !e.iOv {
-			e.iOv = true
+		if fl&flagIOv == 0 {
+			fl |= flagIOv
 			if line := in.PC >> 6; line != scanILine {
 				scanILine = line
 				c.mem.Inst(c.id, in.PC, c.coreTime)
 			}
-			c.OverlapHidden++
+			hidden++
 		}
 
-		dependent := c.dependsOnTaint(in)
+		// Register taint reads are branchless (slot RegNone stays false);
+		// the store-line set is consulted only for loads while any store
+		// has been tainted.
+		dependent := false
+		if !noTaint {
+			dependent = tr[in.Src1] || tr[in.Src2]
+			if !dependent && in.Class == isa.Load && c.taintLines.n > 0 {
+				dependent = c.taintLines.contains(in.Addr >> 6)
+			}
+		}
 
-		if in.Class.IsBranch() && !e.brChecked && !e.brOv {
-			e.brChecked = true
-			e.brMisp = c.bp.Predict(in)
+		if in.Class.IsBranch() && fl&(flagBrChecked|flagBrOv) == 0 {
+			fl |= flagBrChecked
+			misp := c.bp.Predict(in)
+			if misp {
+				fl |= flagBrMisp
+			}
 			if !dependent {
 				// The branch executes underneath the miss. A
 				// misprediction redirects the front end: the
 				// resolution and refill consume part of the miss
 				// shadow; if the shadow is exhausted, nothing
 				// further overlaps.
-				e.brOv = true
-				c.OverlapHidden++
-				if e.brMisp {
+				fl |= flagBrOv
+				hidden++
+				if misp {
 					// Fetch beyond the redirect is wrong-path until
 					// the branch resolves: stop the scan (paper,
 					// Figure 3 line 40).
+					fg[idx&(len(fg)-1)] = fl
 					c.ScanBreaks++
-					break
+					c.OverlapHidden += hidden
+					return
 				}
-			} else if e.brMisp {
+			} else if misp {
 				// A branch depending on the head load resolves only
 				// when the miss returns: everything the front end
 				// fetched beyond it was the wrong path, so nothing
 				// beyond it overlaps. The branch itself is charged
 				// when it reaches the head.
+				fg[idx&(len(fg)-1)] = fl
 				c.ScanBreaks++
-				break
+				c.OverlapHidden += hidden
+				return
 			}
 		}
 
@@ -496,9 +564,9 @@ func (c *Core) scanOverlap(load *isa.Inst, headLatency int64) {
 		// all outstanding-miss slots in use the load cannot issue and is
 		// left unmarked — it will be charged when it reaches the head.
 		taint := dependent
-		if in.Class == isa.Load && !dependent && !e.dOv && outstanding < c.maxLL {
-			e.dOv = true
-			c.OverlapHidden++
+		if in.Class == isa.Load && !dependent && fl&flagDOv == 0 && outstanding < c.maxLL {
+			fl |= flagDOv
+			hidden++
 			res := c.mem.Data(c.id, in.Addr, false, c.coreTime)
 			if res.LongLatency() {
 				taint = true
@@ -506,34 +574,19 @@ func (c *Core) scanOverlap(load *isa.Inst, headLatency int64) {
 				outstanding++
 			}
 		}
+		if fl != fl0 {
+			fg[idx&(len(fg)-1)] = fl
+		}
 
 		// Propagate taint through the dataflow.
 		if in.HasDst() {
-			c.taintRegs[in.Dst] = taint
+			tr[in.Dst] = taint
 		}
 		if in.Class == isa.Store && taint {
-			c.taintLines[in.Addr>>6] = true
+			c.taintLines.add(in.Addr >> 6)
 		}
 	}
-}
-
-// dependsOnTaint reports whether in transitively depends on the
-// long-latency load being scanned. Under the NoTaint ablation everything
-// is treated as independent.
-func (c *Core) dependsOnTaint(in *isa.Inst) bool {
-	if c.opts.NoTaint {
-		return false
-	}
-	if in.Src1 != isa.RegNone && c.taintRegs[in.Src1] {
-		return true
-	}
-	if in.Src2 != isa.RegNone && c.taintRegs[in.Src2] {
-		return true
-	}
-	if in.Class == isa.Load && len(c.taintLines) > 0 && c.taintLines[in.Addr>>6] {
-		return true
-	}
-	return false
+	c.OverlapHidden += hidden
 }
 
 var _ sim.Core = (*Core)(nil)

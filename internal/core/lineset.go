@@ -1,0 +1,70 @@
+package core
+
+// lineSet is a fixed-size open-addressed set of cache-line addresses, used
+// to carry store-to-load memory dependences during the overlap scan. It
+// replaces a Go map on the hot path: clearing is a generation bump instead
+// of a rehash/range-delete, and membership is a multiply hash plus a short
+// linear probe with no allocation in steady state.
+//
+// Capacity is sized at construction to twice the maximum number of inserts
+// (one per store in the ROB-sized scan window), so the load factor never
+// exceeds one half and probes stay short; the table can never fill.
+type lineSet struct {
+	keys []uint64
+	gen  []uint64
+	cur  uint64 // current generation; slots with gen[i] != cur are empty
+	mask uint64
+	n    int
+}
+
+// newLineSet returns a set sized for at most maxInserts distinct keys per
+// generation.
+func newLineSet(maxInserts int) lineSet {
+	size := ceilPow2(2 * maxInserts)
+	if size < 8 {
+		size = 8
+	}
+	return lineSet{
+		keys: make([]uint64, size),
+		gen:  make([]uint64, size),
+		cur:  1,
+		mask: uint64(size - 1),
+	}
+}
+
+// clear empties the set in O(1) by starting a new generation.
+func (s *lineSet) clear() {
+	s.cur++
+	s.n = 0
+}
+
+// add inserts key into the set.
+func (s *lineSet) add(key uint64) {
+	i := (key * 0x9E3779B97F4A7C15) & s.mask
+	for {
+		if s.gen[i] != s.cur {
+			s.keys[i] = key
+			s.gen[i] = s.cur
+			s.n++
+			return
+		}
+		if s.keys[i] == key {
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// contains reports membership.
+func (s *lineSet) contains(key uint64) bool {
+	i := (key * 0x9E3779B97F4A7C15) & s.mask
+	for {
+		if s.gen[i] != s.cur {
+			return false
+		}
+		if s.keys[i] == key {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}

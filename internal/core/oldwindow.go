@@ -43,26 +43,83 @@ import (
 // between the mispredicted branch dispatching and resolving", as the paper
 // defines it, rather than the full dataflow depth since the last miss
 // event.
+// All tracked times are stored on a fixed virtual axis and read relative to
+// base: rel(v) = max(v-base, 0). Shift then only advances base — O(1)
+// instead of rewriting every register and ring slot — which is exactly
+// equivalent because max(max(v-a,0)-b, 0) == max(v-a-b, 0) and max commutes
+// with the subtraction.
 type OldWindow struct {
 	cfg      config.Core
-	issues   []int64 // ring buffer of issue times (pure track)
+	issues   []int64 // ring buffer of issue times (pure track), pow2 sized
+	mask     int     // len(issues)-1
+	capn     int     // logical capacity (the ROB size)
 	head     int
 	n        int
+	base     int64
 	headTime int64
 	tailTime int64
-	regReady [isa.NumRegs]int64
+	// reg holds both dataflow tracks per architectural register, adjacent
+	// so one cache line serves both reads (and both writes) of an
+	// operand. Indexed directly by operand byte: slot RegNone (0xFF) is
+	// never written and stays zero, so operand reads need no "is there an
+	// operand" branches (a zero virtual time clamps to no constraint).
+	reg       [256]regTimes
+	tailFloor int64
 
-	// Floored track.
-	floorReady [isa.NumRegs]int64
-	tailFloor  int64
+	// lat caches ExecLatency per class, sized for any class byte so the
+	// indexing needs no bounds check; width caches the dispatch width —
+	// Insert and DispatchRate run once per dispatched instruction.
+	lat   [256]int64
+	width float64
+	// DispatchRate memo, keyed on the critical path it was computed from
+	// (the division is on the per-cycle path).
+	memoCP   int64
+	memoRate float64
 }
 
 // NewOldWindow creates an old window with the ROB's capacity.
 func NewOldWindow(cfg config.Core) *OldWindow {
-	return &OldWindow{
+	w := &OldWindow{
 		cfg:    cfg,
-		issues: make([]int64, cfg.ROBSize),
+		issues: make([]int64, ceilPow2(cfg.ROBSize)),
+		capn:   cfg.ROBSize,
+		width:  float64(cfg.DecodeWidth),
+		memoCP: -1,
 	}
+	w.mask = len(w.issues) - 1
+	for c := range w.lat {
+		w.lat[c] = int64(cfg.ExecLatency(isa.Class(c)))
+	}
+	return w
+}
+
+// ceilPow2 rounds v up to the next power of two (ring buffers use masked
+// indexing).
+func ceilPow2(v int) int {
+	if v < 1 {
+		return 1
+	}
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// regTimes is one register's completion time on the pure and floored
+// dataflow tracks (virtual axis).
+type regTimes struct {
+	pure  int64
+	floor int64
+}
+
+// rel reads a stored virtual time relative to the current base, clamping at
+// zero (a time fully covered by past shifts is "already executed").
+func (w *OldWindow) rel(v int64) int64 {
+	if d := v - w.base; d > 0 {
+		return d
+	}
+	return 0
 }
 
 // Len returns the number of instructions currently tracked.
@@ -74,62 +131,71 @@ func (w *OldWindow) Len() int { return w.n }
 // D-cache miss latency"); it is ignored for other classes. dispTime is the
 // instruction's dispatch time relative to the last window flush.
 func (w *OldWindow) Insert(in *isa.Inst, loadLatency, dispTime int64) {
-	lat := int64(w.cfg.ExecLatency(in.Class))
+	lat := w.lat[in.Class]
 	if in.Class == isa.Load && loadLatency > 0 {
 		lat = loadLatency
 	}
+	base := w.base
 
-	// Pure dataflow track.
-	issue := int64(0)
-	if in.Src1 != isa.RegNone && w.regReady[in.Src1] > issue {
-		issue = w.regReady[in.Src1]
+	// Pure dataflow track (times relative to base; stored virtual).
+	// Absent operands read slot RegNone = 0, which clamps below zero and
+	// constrains nothing.
+	s1, s2 := &w.reg[in.Src1], &w.reg[in.Src2]
+	issue := s1.pure - base
+	if v := s2.pure - base; v > issue {
+		issue = v
 	}
-	if in.Src2 != isa.RegNone && w.regReady[in.Src2] > issue {
-		issue = w.regReady[in.Src2]
+	if issue < 0 {
+		issue = 0
 	}
 	complete := issue + lat
 
 	// Floored track: an instruction cannot issue before it dispatches.
 	fIssue := dispTime
-	if in.Src1 != isa.RegNone && w.floorReady[in.Src1] > fIssue {
-		fIssue = w.floorReady[in.Src1]
+	if v := s1.floor - base; v > fIssue {
+		fIssue = v
 	}
-	if in.Src2 != isa.RegNone && w.floorReady[in.Src2] > fIssue {
-		fIssue = w.floorReady[in.Src2]
+	if v := s2.floor - base; v > fIssue {
+		fIssue = v
 	}
 	fComplete := fIssue + lat
 
 	if in.HasDst() {
-		w.regReady[in.Dst] = complete
-		w.floorReady[in.Dst] = fComplete
+		w.reg[in.Dst] = regTimes{pure: base + complete, floor: base + fComplete}
 	}
 	// Head and tail times track ISSUE times (Section 3.2): "the new tail
 	// time is computed as the maximum of the previous tail time and the
 	// issue time of the newly inserted instruction; similarly, the new
 	// head time is the maximum of the previous head time and the issue
 	// time of the removed instruction."
-	if issue > w.tailTime {
-		w.tailTime = issue
+	vIssue := base + issue
+	if vIssue > w.tailTime {
+		w.tailTime = vIssue
 	}
-	if fComplete > w.tailFloor {
-		w.tailFloor = fComplete
+	if base+fComplete > w.tailFloor {
+		w.tailFloor = base + fComplete
 	}
-	if w.n == len(w.issues) {
-		old := w.issues[w.head]
+	iss := w.issues
+	if w.n == w.capn {
+		// Steady state: evict the head, keep occupancy at capn. The tail
+		// slot coincides with the evicted head slot only when the logical
+		// capacity fills the whole pow2 ring (power-of-two ROB sizes).
+		old := iss[w.head&(len(iss)-1)]
 		if old > w.headTime {
 			w.headTime = old
 		}
-		w.head = (w.head + 1) % len(w.issues)
-		w.n--
+		iss[(w.head+w.capn)&(len(iss)-1)] = vIssue
+		w.head = (w.head + 1) & w.mask
+		return
 	}
-	w.issues[(w.head+w.n)%len(w.issues)] = issue
+	iss[(w.head+w.n)&(len(iss)-1)] = vIssue
 	w.n++
 }
 
 // CriticalPath approximates the critical path length in cycles through the
 // tracked instructions: tail time minus head time, at least one cycle.
 func (w *OldWindow) CriticalPath() int64 {
-	cp := w.tailTime - w.headTime
+	cp := w.rel(w.tailTime) - w.rel(w.headTime)
 	if cp < 1 {
 		return 1
 	}
@@ -139,16 +205,34 @@ func (w *OldWindow) CriticalPath() int64 {
 // DispatchRate returns the effective dispatch rate in instructions per
 // cycle: by Little's law the maximum execution rate is the window size
 // divided by the critical path length, capped at the designed dispatch
-// width (Section 3.2).
+// width (Section 3.2). The division is memoized on the critical path, which
+// changes far less often than the per-cycle call site.
 func (w *OldWindow) DispatchRate() float64 {
-	width := float64(w.cfg.DecodeWidth)
 	if w.n == 0 {
-		return width
+		return w.width
 	}
-	rate := float64(len(w.issues)) / float64(w.CriticalPath())
-	if rate > width {
-		return width
+	cp := w.tailTime - w.base
+	if h := w.headTime - w.base; h > 0 {
+		if cp < 0 {
+			cp = 0
+		}
+		cp -= h
 	}
+	if cp < 1 {
+		cp = 1
+	}
+	if cp == w.memoCP {
+		return w.memoRate
+	}
+	return w.dispatchRateSlow(cp)
+}
+
+func (w *OldWindow) dispatchRateSlow(cp int64) float64 {
+	rate := float64(w.capn) / float64(cp)
+	if rate > w.width {
+		rate = w.width
+	}
+	w.memoCP, w.memoRate = cp, rate
 	return rate
 }
 
@@ -158,13 +242,13 @@ func (w *OldWindow) DispatchRate() float64 {
 // between the branch dispatching and being resolved.
 func (w *OldWindow) BranchResolution(br *isa.Inst, dispTime int64) int64 {
 	issue := dispTime
-	if br.Src1 != isa.RegNone && w.floorReady[br.Src1] > issue {
-		issue = w.floorReady[br.Src1]
+	if v := w.rel(w.reg[br.Src1].floor); v > issue {
+		issue = v
 	}
-	if br.Src2 != isa.RegNone && w.floorReady[br.Src2] > issue {
-		issue = w.floorReady[br.Src2]
+	if v := w.rel(w.reg[br.Src2].floor); v > issue {
+		issue = v
 	}
-	res := issue + int64(w.cfg.ExecLatency(br.Class)) - dispTime
+	res := issue + w.lat[br.Class] - dispTime
 	if res < 1 {
 		return 1
 	}
@@ -178,13 +262,13 @@ func (w *OldWindow) BranchResolution(br *isa.Inst, dispTime int64) int64 {
 // derives from an offline profile.
 func (w *OldWindow) BranchResolutionPure(br *isa.Inst) int64 {
 	issue := int64(0)
-	if br.Src1 != isa.RegNone && w.regReady[br.Src1] > issue {
-		issue = w.regReady[br.Src1]
+	if v := w.rel(w.reg[br.Src1].pure); v > issue {
+		issue = v
 	}
-	if br.Src2 != isa.RegNone && w.regReady[br.Src2] > issue {
-		issue = w.regReady[br.Src2]
+	if v := w.rel(w.reg[br.Src2].pure); v > issue {
+		issue = v
 	}
-	res := issue + int64(w.cfg.ExecLatency(br.Class)) - w.headTime
+	res := issue + w.lat[br.Class] - w.rel(w.headTime)
 	if res < 1 {
 		return 1
 	}
@@ -199,7 +283,7 @@ func (w *OldWindow) DrainTime(dispTime int64) int64 {
 		return 1
 	}
 	byWidth := int64((w.n + w.cfg.DecodeWidth - 1) / w.cfg.DecodeWidth)
-	rem := w.tailFloor - dispTime
+	rem := w.rel(w.tailFloor) - dispTime
 	if rem > byWidth {
 		return rem
 	}
@@ -213,27 +297,13 @@ func (w *OldWindow) DrainTime(dispTime int64) int64 {
 // chains fully covered by the penalty vanish (the paper's interval-length
 // effect on resolution and drain times) while genuinely longer chains —
 // loop-carried recurrences — survive the event, as they do in the machine.
+// With times stored on the virtual axis this is one addition, not a walk
+// over every register and ring slot.
 func (w *OldWindow) Shift(elapsed int64) {
 	if elapsed <= 0 {
 		return
 	}
-	sub := func(v int64) int64 {
-		if v <= elapsed {
-			return 0
-		}
-		return v - elapsed
-	}
-	for i := range w.regReady {
-		w.regReady[i] = sub(w.regReady[i])
-		w.floorReady[i] = sub(w.floorReady[i])
-	}
-	for k := 0; k < w.n; k++ {
-		idx := (w.head + k) % len(w.issues)
-		w.issues[idx] = sub(w.issues[idx])
-	}
-	w.headTime = sub(w.headTime)
-	w.tailTime = sub(w.tailTime)
-	w.tailFloor = sub(w.tailFloor)
+	w.base += elapsed
 }
 
 // Empty flushes the window. The paper empties the old window on every miss
@@ -242,10 +312,11 @@ func (w *OldWindow) Shift(elapsed int64) {
 // next mispredicted branch (the "interval length effect").
 func (w *OldWindow) Empty() {
 	w.head, w.n = 0, 0
+	w.base = 0
 	w.headTime, w.tailTime = 0, 0
 	w.tailFloor = 0
-	for i := range w.regReady {
-		w.regReady[i] = 0
-		w.floorReady[i] = 0
+	w.memoCP = -1
+	for i := range w.reg {
+		w.reg[i] = regTimes{}
 	}
 }

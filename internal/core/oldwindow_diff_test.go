@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// refOldWindow is a direct port of the pre-optimization OldWindow (eager
+// per-shift clamping, plain modulo ring sized exactly at ROBSize). It is
+// the semantic reference the virtual-time implementation must match for
+// every ROB size, power-of-two or not.
+type refOldWindow struct {
+	cfg        config.Core
+	issues     []int64
+	head, n    int
+	headTime   int64
+	tailTime   int64
+	regReady   [isa.NumRegs]int64
+	floorReady [isa.NumRegs]int64
+	tailFloor  int64
+}
+
+func newRefOldWindow(cfg config.Core) *refOldWindow {
+	return &refOldWindow{cfg: cfg, issues: make([]int64, cfg.ROBSize)}
+}
+
+func (w *refOldWindow) Insert(in *isa.Inst, loadLatency, dispTime int64) {
+	lat := int64(w.cfg.ExecLatency(in.Class))
+	if in.Class == isa.Load && loadLatency > 0 {
+		lat = loadLatency
+	}
+	issue := int64(0)
+	if in.Src1 != isa.RegNone && w.regReady[in.Src1] > issue {
+		issue = w.regReady[in.Src1]
+	}
+	if in.Src2 != isa.RegNone && w.regReady[in.Src2] > issue {
+		issue = w.regReady[in.Src2]
+	}
+	complete := issue + lat
+	fIssue := dispTime
+	if in.Src1 != isa.RegNone && w.floorReady[in.Src1] > fIssue {
+		fIssue = w.floorReady[in.Src1]
+	}
+	if in.Src2 != isa.RegNone && w.floorReady[in.Src2] > fIssue {
+		fIssue = w.floorReady[in.Src2]
+	}
+	fComplete := fIssue + lat
+	if in.HasDst() {
+		w.regReady[in.Dst] = complete
+		w.floorReady[in.Dst] = fComplete
+	}
+	if issue > w.tailTime {
+		w.tailTime = issue
+	}
+	if fComplete > w.tailFloor {
+		w.tailFloor = fComplete
+	}
+	if w.n == len(w.issues) {
+		old := w.issues[w.head]
+		if old > w.headTime {
+			w.headTime = old
+		}
+		w.head = (w.head + 1) % len(w.issues)
+		w.n--
+	}
+	w.issues[(w.head+w.n)%len(w.issues)] = issue
+	w.n++
+}
+
+func (w *refOldWindow) CriticalPath() int64 {
+	cp := w.tailTime - w.headTime
+	if cp < 1 {
+		return 1
+	}
+	return cp
+}
+
+func (w *refOldWindow) DispatchRate() float64 {
+	width := float64(w.cfg.DecodeWidth)
+	if w.n == 0 {
+		return width
+	}
+	rate := float64(len(w.issues)) / float64(w.CriticalPath())
+	if rate > width {
+		return width
+	}
+	return rate
+}
+
+func (w *refOldWindow) BranchResolution(br *isa.Inst, dispTime int64) int64 {
+	issue := dispTime
+	if br.Src1 != isa.RegNone && w.floorReady[br.Src1] > issue {
+		issue = w.floorReady[br.Src1]
+	}
+	if br.Src2 != isa.RegNone && w.floorReady[br.Src2] > issue {
+		issue = w.floorReady[br.Src2]
+	}
+	res := issue + int64(w.cfg.ExecLatency(br.Class)) - dispTime
+	if res < 1 {
+		return 1
+	}
+	return res
+}
+
+func (w *refOldWindow) BranchResolutionPure(br *isa.Inst) int64 {
+	issue := int64(0)
+	if br.Src1 != isa.RegNone && w.regReady[br.Src1] > issue {
+		issue = w.regReady[br.Src1]
+	}
+	if br.Src2 != isa.RegNone && w.regReady[br.Src2] > issue {
+		issue = w.regReady[br.Src2]
+	}
+	res := issue + int64(w.cfg.ExecLatency(br.Class)) - w.headTime
+	if res < 1 {
+		return 1
+	}
+	return res
+}
+
+func (w *refOldWindow) DrainTime(dispTime int64) int64 {
+	if w.n == 0 {
+		return 1
+	}
+	byWidth := int64((w.n + w.cfg.DecodeWidth - 1) / w.cfg.DecodeWidth)
+	rem := w.tailFloor - dispTime
+	if rem > byWidth {
+		return rem
+	}
+	return byWidth
+}
+
+func (w *refOldWindow) Shift(elapsed int64) {
+	if elapsed <= 0 {
+		return
+	}
+	sub := func(v int64) int64 {
+		if v <= elapsed {
+			return 0
+		}
+		return v - elapsed
+	}
+	for i := range w.regReady {
+		w.regReady[i] = sub(w.regReady[i])
+		w.floorReady[i] = sub(w.floorReady[i])
+	}
+	for k := 0; k < w.n; k++ {
+		idx := (w.head + k) % len(w.issues)
+		w.issues[idx] = sub(w.issues[idx])
+	}
+	w.headTime = sub(w.headTime)
+	w.tailTime = sub(w.tailTime)
+	w.tailFloor = sub(w.tailFloor)
+}
+
+func (w *refOldWindow) Empty() {
+	w.head, w.n = 0, 0
+	w.headTime, w.tailTime, w.tailFloor = 0, 0, 0
+	for i := range w.regReady {
+		w.regReady[i] = 0
+		w.floorReady[i] = 0
+	}
+}
+
+// TestOldWindowMatchesReference drives random operation sequences through
+// the optimized OldWindow and the eager reference side by side, over ROB
+// sizes including non-powers-of-two, and requires every observable to
+// agree exactly.
+func TestOldWindowMatchesReference(t *testing.T) {
+	for _, rob := range []int{1, 2, 3, 5, 8, 31, 64, 96, 100, 256} {
+		rob := rob
+		rng := rand.New(rand.NewSource(int64(rob)*77 + 1))
+		cfg := config.Default(1).Core
+		cfg.ROBSize = rob
+		w := NewOldWindow(cfg)
+		ref := newRefOldWindow(cfg)
+		randInst := func() isa.Inst {
+			in := isa.Inst{Class: isa.Class(rng.Intn(int(isa.NumClasses)))}
+			pick := func() uint8 {
+				if rng.Intn(4) == 0 {
+					return isa.RegNone
+				}
+				return uint8(rng.Intn(isa.NumRegs))
+			}
+			in.Src1, in.Src2, in.Dst = pick(), pick(), pick()
+			return in
+		}
+		for op := 0; op < 20_000; op++ {
+			switch rng.Intn(10) {
+			case 0:
+				e := int64(rng.Intn(40))
+				w.Shift(e)
+				ref.Shift(e)
+			case 1:
+				if rng.Intn(20) == 0 {
+					w.Empty()
+					ref.Empty()
+				}
+			case 2:
+				in := randInst()
+				d := int64(rng.Intn(30))
+				if got, want := w.BranchResolution(&in, d), ref.BranchResolution(&in, d); got != want {
+					t.Fatalf("rob=%d op=%d: BranchResolution %d != %d", rob, op, got, want)
+				}
+				if got, want := w.BranchResolutionPure(&in), ref.BranchResolutionPure(&in); got != want {
+					t.Fatalf("rob=%d op=%d: BranchResolutionPure %d != %d", rob, op, got, want)
+				}
+			case 3:
+				d := int64(rng.Intn(30))
+				if got, want := w.DrainTime(d), ref.DrainTime(d); got != want {
+					t.Fatalf("rob=%d op=%d: DrainTime %d != %d", rob, op, got, want)
+				}
+			default:
+				in := randInst()
+				loadLat := int64(0)
+				if in.Class == isa.Load && rng.Intn(2) == 0 {
+					loadLat = int64(rng.Intn(100))
+				}
+				d := int64(rng.Intn(30))
+				w.Insert(&in, loadLat, d)
+				ref.Insert(&in, loadLat, d)
+			}
+			if got, want := w.CriticalPath(), ref.CriticalPath(); got != want {
+				t.Fatalf("rob=%d op=%d: CriticalPath %d != %d", rob, op, got, want)
+			}
+			if got, want := w.DispatchRate(), ref.DispatchRate(); got != want {
+				t.Fatalf("rob=%d op=%d: DispatchRate %v != %v", rob, op, got, want)
+			}
+			if got, want := w.Len(), ref.n; got != want {
+				t.Fatalf("rob=%d op=%d: Len %d != %d", rob, op, got, want)
+			}
+		}
+	}
+}

@@ -200,11 +200,73 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 		label = cfg.Model.String()
 	}
 	res := Result{Model: cfg.Model, ModelName: label, Cores: make([]CoreResult, len(cores))}
-	noted := make([]bool, len(cores))
+
+	// The TimeSkipper capability is asserted once per core here, not once
+	// per core per cycle in the skip loop below.
+	skippers := make([]sim.TimeSkipper, len(cores))
+	allSkip := true
+	for i, c := range cores {
+		if ts, ok := c.(sim.TimeSkipper); ok {
+			skippers[i] = ts
+		} else {
+			allSkip = false
+		}
+	}
+	// live holds the indices of cores that have not finished, in ascending
+	// order; finished cores drop out instead of being re-checked every
+	// cycle of a long run. The rotation below still uses the full core
+	// count so the visit order of the surviving cores is unchanged.
+	live := make([]int, len(cores))
+	for i := range live {
+		live[i] = i
+	}
 
 	start := time.Now()
 	now := int64(0)
 	n := len(cores)
+	if n == 1 && skippers[0] != nil {
+		// Single-core fast loop: no rotation, no live-list bookkeeping —
+		// the dominant case for SPEC runs and sweeps. Semantically
+		// identical to the general loop below with one core.
+		c, ts := cores[0], skippers[0]
+		if c.Done() {
+			coord.NoteDone(0)
+		} else {
+			for iter := uint(0); ; iter++ {
+				if cfg.Interrupt != nil && iter&1023 == 0 {
+					select {
+					case <-cfg.Interrupt:
+						res.Interrupted = true
+					default:
+					}
+					if res.Interrupted {
+						break
+					}
+				}
+				c.Step(now)
+				if c.Done() {
+					coord.NoteDone(0)
+					break
+				}
+				next := ts.NextActive(now + 1)
+				if next < now+1 {
+					next = now + 1
+				}
+				now = next
+				if now >= maxCycles {
+					res.TimedOut = true
+					break
+				}
+			}
+		}
+		res.Wall = time.Since(start)
+		if cfg.KeepCores {
+			res.Sim = cores
+			res.Mem = mem
+		}
+		finishResult(&res, cores, now)
+		return res
+	}
 	for iter := uint(0); ; iter++ {
 		// Poll the interrupt channel periodically, not every iteration:
 		// a channel select on the per-cycle path would be measurable.
@@ -218,57 +280,71 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 				break
 			}
 		}
-		allDone := true
 		// Rotate the stepping order each cycle: same-cycle races for the
 		// shared bus and L2 are then arbitrated round-robin instead of
-		// systematically favoring low-numbered cores.
+		// systematically favoring low-numbered cores. The rotation is
+		// over core indices (not live-list positions), so removing
+		// finished cores does not perturb the order of the rest.
 		first := 0
-		if n > 0 {
+		if n > 1 {
 			first = int(now % int64(n))
 		}
-		for k := 0; k < n; k++ {
-			i := (first + k) % n
+		start2 := 0
+		for start2 < len(live) && live[start2] < first {
+			start2++
+		}
+		removed := false
+		for k := 0; k < len(live); k++ {
+			pos := start2 + k
+			if pos >= len(live) {
+				pos -= len(live)
+			}
+			i := live[pos]
 			c := cores[i]
+			// A core only finishes inside Step, so the pre-check fires
+			// just for cores that were already done when handed to the
+			// driver (it mirrors the pre-removal per-cycle scan).
 			if c.Done() {
-				if !noted[i] {
-					noted[i] = true
-					coord.NoteDone(i)
-				}
+				coord.NoteDone(i)
+				live[pos] = -1
+				removed = true
 				continue
 			}
 			c.Step(now)
 			if c.Done() {
-				noted[i] = true
 				coord.NoteDone(i)
-			} else {
-				allDone = false
+				live[pos] = -1
+				removed = true
 			}
 		}
-		if allDone {
+		if removed {
+			w := 0
+			for _, i := range live {
+				if i >= 0 {
+					live[w] = i
+					w++
+				}
+			}
+			live = live[:w]
+		}
+		if len(live) == 0 {
 			break
 		}
 		// Event-driven skip: if every live core is ahead of global time
 		// (miss-event penalties), jump straight to the earliest next
 		// activity — no core would be simulated in between.
 		next := now + 1
-		skip := true
-		var minNext int64 = 1<<62 - 1
-		for _, c := range cores {
-			if c.Done() {
-				continue
+		if allSkip {
+			var minNext int64 = 1<<62 - 1
+			for _, i := range live {
+				na := skippers[i].NextActive(now + 1)
+				if na < minNext {
+					minNext = na
+				}
 			}
-			ts, ok := c.(sim.TimeSkipper)
-			if !ok {
-				skip = false
-				break
+			if minNext > next {
+				next = minNext
 			}
-			na := ts.NextActive(now + 1)
-			if na < minNext {
-				minNext = na
-			}
-		}
-		if skip && minNext > next {
-			next = minNext
 		}
 		now = next
 		if now >= maxCycles {
@@ -281,7 +357,13 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 		res.Sim = cores
 		res.Mem = mem
 	}
+	finishResult(&res, cores, now)
+	return res
+}
 
+// finishResult fills the per-core results and machine-level totals after
+// the stepping loop.
+func finishResult(res *Result, cores []sim.Core, now int64) {
 	for i, c := range cores {
 		fin := c.FinishTime()
 		if !c.Done() {
@@ -297,7 +379,6 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 			res.Cycles = fin
 		}
 	}
-	return res
 }
 
 // warmup replays n instructions per core through the caches, TLBs and
@@ -305,24 +386,37 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 // standard functional warming: the timed portion then measures steady-state
 // behaviour instead of cold-start misses.
 func warmup(mem *memhier.Hierarchy, bps []*branch.Unit, streams []trace.Stream, n int) {
+	buf := make([]isa.Inst, 4096)
 	for i, s := range streams {
 		if i >= len(bps) {
 			break
 		}
-		for k := 0; k < n; k++ {
-			in, ok := s.Next()
-			if !ok {
+		// Consume exactly n instructions in chunks: the chunk is clamped
+		// so warmup never over-reads a stream that the timed run then
+		// continues from.
+		bs := trace.Batched(s)
+		for left := n; left > 0; {
+			want := len(buf)
+			if want > left {
+				want = left
+			}
+			k := bs.NextBatch(buf[:want])
+			if k == 0 {
 				break
 			}
-			if in.Class.IsSync() {
-				continue
-			}
-			mem.Inst(i, in.PC, 0)
-			if in.Class.IsBranch() {
-				bps[i].Predict(&in)
-			}
-			if in.Class.IsMem() {
-				mem.Data(i, in.Addr, in.Class == isa.Store, 0)
+			left -= k
+			for j := 0; j < k; j++ {
+				in := &buf[j]
+				if in.Class.IsSync() {
+					continue
+				}
+				mem.Inst(i, in.PC, 0)
+				if in.Class.IsBranch() {
+					bps[i].Predict(in)
+				}
+				if in.Class.IsMem() {
+					mem.Data(i, in.Addr, in.Class == isa.Store, 0)
+				}
 			}
 		}
 	}

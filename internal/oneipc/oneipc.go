@@ -13,17 +13,19 @@ import (
 	"repro/internal/trace"
 )
 
+// fetchBatch is the functional→timing hand-off chunk size.
+const fetchBatch = 1024
+
 // Core is a one-IPC core model. It implements sim.Core.
 type Core struct {
 	id     int
 	mem    *memhier.Hierarchy
-	src    trace.Stream
+	src    *trace.Buffered
 	syncer sim.Syncer
 
 	coreTime   int64
 	pending    isa.Inst
 	hasPending bool
-	srcDone    bool
 	retired    uint64
 	done       bool
 	finishTime int64
@@ -34,7 +36,11 @@ func New(id int, mem *memhier.Hierarchy, src trace.Stream, syncer sim.Syncer) *C
 	if syncer == nil {
 		syncer = sim.NullSyncer{}
 	}
-	return &Core{id: id, mem: mem, src: src, syncer: syncer}
+	return &Core{
+		id: id, mem: mem,
+		src:    trace.NewBuffered(src, fetchBatch),
+		syncer: syncer,
+	}
 }
 
 // Retired implements sim.Core.

@@ -26,6 +26,9 @@ import (
 // noProducer marks a source operand with no in-flight producer.
 const noProducer = ^uint64(0)
 
+// fetchBatch is the functional→timing hand-off chunk size.
+const fetchBatch = 1024
+
 type fetchEntry struct {
 	inst       isa.Inst
 	readyAt    int64 // leaves the front-end pipeline at this cycle
@@ -49,7 +52,7 @@ type Core struct {
 	cfg    config.Core
 	bp     *branch.Unit
 	mem    *memhier.Hierarchy
-	src    trace.Stream
+	src    *trace.Buffered
 	syncer sim.Syncer
 
 	// Front end.
@@ -103,7 +106,7 @@ func New(id int, cfg config.Core, bp *branch.Unit, mem *memhier.Hierarchy, src t
 		cfg:    cfg,
 		bp:     bp,
 		mem:    mem,
-		src:    src,
+		src:    trace.NewBuffered(src, fetchBatch),
 		syncer: syncer,
 		rob:    make([]robEntry, 0, cfg.ROBSize),
 		iq:     make([]uint64, 0, cfg.IssueQueueSize),
@@ -160,7 +163,8 @@ func (c *Core) entryBySeq(s uint64) *robEntry {
 	return &c.rob[s-c.rob[0].seq]
 }
 
-// peek pulls the next stream instruction into the lookahead slot.
+// peek pulls the next stream instruction into the lookahead slot (the
+// buffered reader refills from the stream one chunk at a time).
 func (c *Core) peek() bool {
 	if c.nextValid {
 		return true

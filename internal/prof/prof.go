@@ -1,0 +1,52 @@
+// Package prof wires the -cpuprofile/-memprofile CLI flags: one shared
+// implementation of start/flush so every binary behaves identically and
+// profiles survive error and interrupt exit paths.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling when cpu is non-empty and returns a flush
+// function that stops the CPU profile and, when mem is non-empty, writes a
+// heap profile. Flush is idempotent, so callers can both defer it (normal
+// return) and invoke it from explicit exit paths (errors, SIGINT).
+func Start(cpu, mem string) (flush func(), err error) {
+	var f *os.File
+	if cpu != "" {
+		f, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if f != nil {
+				pprof.StopCPUProfile()
+				f.Close()
+			}
+			if mem == "" {
+				return
+			}
+			mf, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		})
+	}, nil
+}

@@ -365,9 +365,10 @@ func TestQueueFull(t *testing.T) {
 	}()
 
 	// Occupy the worker, fill the one queue slot, then overflow. The
-	// busy job is big enough that the worker still holds it while the
-	// two follow-ups arrive.
-	postJob(t, ts, `{"bench":"gcc","insts":400000,"seed":1}`)
+	// busy job is big enough (hundreds of milliseconds even at full
+	// batched-stream speed) that the worker still holds it while the
+	// follow-ups arrive.
+	postJob(t, ts, `{"bench":"gcc","insts":8000000,"seed":1}`)
 	deadline := time.Now().Add(10 * time.Second)
 	for i := 0; ; i++ {
 		_, status := postJob(t, ts, fmt.Sprintf(`{"bench":"gcc","insts":2000,"seed":%d}`, 100+i))

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// synthetic returns a deterministic instruction sequence for equivalence
+// tests.
+func synthetic(n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := range out {
+		out[i] = isa.Inst{
+			Class: isa.Class(rng.Intn(int(isa.NumClasses))),
+			PC:    uint64(0x400000 + 4*i),
+			Addr:  uint64(rng.Int63()),
+			Seq:   uint64(i),
+		}
+	}
+	return out
+}
+
+// nextOnly hides any batch capability so Batched must fall back to the
+// legacy adapter.
+type nextOnly struct{ s Stream }
+
+func (n nextOnly) Next() (isa.Inst, bool) { return n.s.Next() }
+
+// TestBatchedMatchesNext: for every stream shape, draining via NextBatch
+// with random chunk sizes must yield exactly the sequence Next yields.
+func TestBatchedMatchesNext(t *testing.T) {
+	insts := synthetic(10_000)
+	shapes := map[string]func() Stream{
+		"slice":           func() Stream { return NewSliceStream(insts) },
+		"limit-slice":     func() Stream { return NewLimit(NewSliceStream(insts), 7_777) },
+		"limit-nextonly":  func() Stream { return NewLimit(nextOnly{NewSliceStream(insts)}, 7_777) },
+		"adapter":         func() Stream { return nextOnly{NewSliceStream(insts)} },
+		"limit-overlong":  func() Stream { return NewLimit(NewSliceStream(insts), len(insts)+5) },
+		"nested-limit":    func() Stream { return NewLimit(NewLimit(NewSliceStream(insts), 9_000), 8_000) },
+		"limit-zero":      func() Stream { return NewLimit(NewSliceStream(insts), 0) },
+		"adapter-batched": func() Stream { return Batched(nextOnly{NewSliceStream(insts)}) },
+	}
+	for name, mk := range shapes {
+		t.Run(name, func(t *testing.T) {
+			want := drainNext(mk())
+			rng := rand.New(rand.NewSource(5))
+			for trial := 0; trial < 5; trial++ {
+				got := drainBatch(mk(), rng)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: %d insts via NextBatch, %d via Next", trial, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d: inst %d differs: %+v vs %+v", trial, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func drainNext(s Stream) []isa.Inst {
+	var out []isa.Inst
+	for {
+		in, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, in)
+	}
+}
+
+func drainBatch(s Stream, rng *rand.Rand) []isa.Inst {
+	b := Batched(s)
+	var out []isa.Inst
+	buf := make([]isa.Inst, 512)
+	for {
+		n := 1 + rng.Intn(len(buf))
+		k := b.NextBatch(buf[:n])
+		if k == 0 {
+			return out
+		}
+		out = append(out, buf[:k]...)
+	}
+}
+
+// TestBatchedMixedConsumption: interleaving Next and NextBatch on one
+// stream must still produce the underlying sequence exactly once.
+func TestBatchedMixedConsumption(t *testing.T) {
+	insts := synthetic(5_000)
+	b := Batched(NewLimit(NewSliceStream(insts), 4_000))
+	rng := rand.New(rand.NewSource(9))
+	var out []isa.Inst
+	buf := make([]isa.Inst, 64)
+	for {
+		if rng.Intn(2) == 0 {
+			in, ok := b.Next()
+			if !ok {
+				break
+			}
+			out = append(out, in)
+		} else {
+			k := b.NextBatch(buf[:1+rng.Intn(64)])
+			if k == 0 {
+				break
+			}
+			out = append(out, buf[:k]...)
+		}
+	}
+	if len(out) != 4_000 {
+		t.Fatalf("drained %d insts, want 4000", len(out))
+	}
+	for i := range out {
+		if out[i] != insts[i] {
+			t.Fatalf("inst %d differs", i)
+		}
+	}
+}
+
+// TestRecordUsesWholeStream: Record must stop at either bound.
+func TestRecordBounds(t *testing.T) {
+	insts := synthetic(100)
+	if got := Record(NewSliceStream(insts), 40); len(got) != 40 {
+		t.Fatalf("Record(.., 40) = %d insts", len(got))
+	}
+	if got := Record(NewSliceStream(insts), 500); len(got) != 100 {
+		t.Fatalf("Record(.., 500) = %d insts", len(got))
+	}
+	if got := Record(nextOnly{NewSliceStream(insts)}, 500); len(got) != 100 {
+		t.Fatalf("Record(adapter, 500) = %d insts", len(got))
+	}
+}

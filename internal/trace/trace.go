@@ -14,6 +14,88 @@ type Stream interface {
 	Next() (in isa.Inst, ok bool)
 }
 
+// BatchStream is a Stream that can additionally hand over instructions in
+// chunks. The per-instruction interface dispatch of Next is measurable in
+// the timing models' inner loops; consumers that buffer (the cores, the
+// warmup loop) pull thousands of instructions per call instead.
+type BatchStream interface {
+	Stream
+	// NextBatch fills buf with the next instructions of the stream, in
+	// program order, and returns how many were written. It returns 0 only
+	// at end-of-stream (for a non-empty buf). Mixing Next and NextBatch
+	// calls is allowed; both consume the same underlying stream.
+	NextBatch(buf []isa.Inst) int
+}
+
+// Batched adapts any Stream to a BatchStream: native batch support is used
+// directly, legacy streams are wrapped in a Next loop.
+func Batched(s Stream) BatchStream {
+	if b, ok := s.(BatchStream); ok {
+		return b
+	}
+	return &nextBatcher{s: s}
+}
+
+// nextBatcher is the legacy-stream adapter behind Batched.
+type nextBatcher struct{ s Stream }
+
+// Next implements Stream.
+func (a *nextBatcher) Next() (isa.Inst, bool) { return a.s.Next() }
+
+// NextBatch implements BatchStream by looping Next.
+func (a *nextBatcher) NextBatch(buf []isa.Inst) int {
+	n := 0
+	for n < len(buf) {
+		in, ok := a.s.Next()
+		if !ok {
+			break
+		}
+		buf[n] = in
+		n++
+	}
+	return n
+}
+
+// Buffered adapts a stream for per-instruction consumers that want the
+// batched hand-off without managing a chunk buffer themselves: Next is a
+// direct (devirtualized) method call that refills from the underlying
+// stream one chunk at a time. The one-IPC and detailed cores read through
+// it; the interval core has its own ring because its window aliases the
+// buffer.
+type Buffered struct {
+	b    BatchStream
+	buf  []isa.Inst
+	pos  int
+	n    int
+	done bool
+}
+
+// NewBuffered wraps s with a chunk buffer of the given size.
+func NewBuffered(s Stream, size int) *Buffered {
+	if size < 1 {
+		size = 1
+	}
+	return &Buffered{b: Batched(s), buf: make([]isa.Inst, size)}
+}
+
+// Next returns the next instruction, refilling the chunk buffer as needed.
+func (r *Buffered) Next() (isa.Inst, bool) {
+	if r.pos == r.n {
+		if r.done {
+			return isa.Inst{}, false
+		}
+		r.n = r.b.NextBatch(r.buf)
+		r.pos = 0
+		if r.n == 0 {
+			r.done = true
+			return isa.Inst{}, false
+		}
+	}
+	in := r.buf[r.pos]
+	r.pos++
+	return in, true
+}
+
 // SliceStream replays a fixed slice of instructions (test helper and
 // building block for recorded traces).
 type SliceStream struct {
@@ -36,6 +118,13 @@ func (s *SliceStream) Next() (isa.Inst, bool) {
 	return in, true
 }
 
+// NextBatch implements BatchStream with one bulk copy.
+func (s *SliceStream) NextBatch(buf []isa.Inst) int {
+	n := copy(buf, s.insts[s.pos:])
+	s.pos += n
+	return n
+}
+
 // Reset rewinds the stream to the beginning.
 func (s *SliceStream) Reset() { s.pos = 0 }
 
@@ -43,24 +132,28 @@ func (s *SliceStream) Reset() { s.pos = 0 }
 // generated stream can be replayed into several simulators.
 func Record(src Stream, n int) []isa.Inst {
 	out := make([]isa.Inst, 0, n)
+	b := Batched(src)
 	for len(out) < n {
-		in, ok := src.Next()
-		if !ok {
+		k := b.NextBatch(out[len(out):n])
+		if k == 0 {
 			break
 		}
-		out = append(out, in)
+		out = out[:len(out)+k]
 	}
 	return out
 }
 
 // Limit wraps a stream and ends it after n instructions.
 type Limit struct {
-	src  Stream
-	left int
+	src   Stream
+	batch BatchStream
+	left  int
 }
 
 // NewLimit creates a stream that yields at most n instructions from src.
-func NewLimit(src Stream, n int) *Limit { return &Limit{src: src, left: n} }
+func NewLimit(src Stream, n int) *Limit {
+	return &Limit{src: src, batch: Batched(src), left: n}
+}
 
 // Next implements Stream.
 func (l *Limit) Next() (isa.Inst, bool) {
@@ -72,6 +165,21 @@ func (l *Limit) Next() (isa.Inst, bool) {
 		l.left--
 	}
 	return in, ok
+}
+
+// NextBatch implements BatchStream, clamping the chunk to the remaining
+// budget.
+func (l *Limit) NextBatch(buf []isa.Inst) int {
+	if l.left <= 0 {
+		return 0
+	}
+	n := len(buf)
+	if n > l.left {
+		n = l.left
+	}
+	k := l.batch.NextBatch(buf[:n])
+	l.left -= k
+	return k
 }
 
 // Stats accumulates simple class statistics over a stream (test and

@@ -198,6 +198,16 @@ type Generator struct {
 	thread    int
 	threads   int
 
+	// Cumulative non-branch mix thresholds, precomputed so bodyInst does
+	// one draw and a threshold walk instead of re-summing the mix per
+	// instruction (it runs once per simulated instruction).
+	mixNonBranch float64
+	cumLoad      float64 // Load
+	cumStore     float64 // Load+Store
+	cumMul       float64 // +IntMul
+	cumDiv       float64 // +IntDiv
+	cumFP        float64 // +FP
+
 	// Interpreter state.
 	inKernel  bool
 	kernLeft  int
@@ -270,6 +280,18 @@ func New(p *Profile, thread, threads int, seed int64) *Generator {
 	if p.DepDistMean > 1 {
 		g.invLogDep = 1 / math.Log(1-1/p.DepDistMean)
 	}
+	// The cumulative thresholds and the total reproduce the summation
+	// order of the original per-instruction expressions exactly —
+	// float addition is not associative, and a different rounding in the
+	// scale factor would shift class boundaries by an ulp and diverge the
+	// generated stream.
+	m := &p.Mix
+	g.cumLoad = m.Load
+	g.cumStore = m.Load + m.Store
+	g.cumMul = m.Load + m.Store + m.IntMul
+	g.cumDiv = m.Load + m.Store + m.IntMul + m.IntDiv
+	g.cumFP = m.Load + m.Store + m.IntMul + m.IntDiv + m.FP
+	g.mixNonBranch = m.IntALU + m.IntMul + m.IntDiv + m.FP + m.Load + m.Store
 	g.lastLoad = isa.RegNone
 	if p.SystemFrac > 0 {
 		// Kernel code: one big function with many blocks, distant base.
@@ -402,6 +424,21 @@ func (g *Generator) Next() (isa.Inst, bool) {
 	g.Emitted++
 	g.accountSync(&in)
 	return in, true
+}
+
+// NextBatch implements trace.BatchStream: the same stream as Next, produced
+// through direct (devirtualized) calls per chunk.
+func (g *Generator) NextBatch(buf []isa.Inst) int {
+	n := 0
+	for n < len(buf) {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		buf[n] = in
+		n++
+	}
+	return n
 }
 
 // accountSync updates barrier/lock bookkeeping after emitting in and queues
@@ -579,19 +616,17 @@ func (g *Generator) bodyInst(pc uint64) isa.Inst {
 			Src1: accumReg, Src2: g.pickSrc(), Dst: accumReg,
 		}
 	}
-	m := &g.p.Mix
-	nonBranch := m.IntALU + m.IntMul + m.IntDiv + m.FP + m.Load + m.Store
-	r := g.rng.Float64() * nonBranch
+	r := g.rng.Float64() * g.mixNonBranch
 	switch {
-	case r < m.Load:
+	case r < g.cumLoad:
 		return g.loadInst(pc)
-	case r < m.Load+m.Store:
+	case r < g.cumStore:
 		return g.storeInst(pc)
-	case r < m.Load+m.Store+m.IntMul:
+	case r < g.cumMul:
 		return g.aluInst(pc, isa.IntMul)
-	case r < m.Load+m.Store+m.IntMul+m.IntDiv:
+	case r < g.cumDiv:
 		return g.aluInst(pc, isa.IntDiv)
-	case r < m.Load+m.Store+m.IntMul+m.IntDiv+m.FP:
+	case r < g.cumFP:
 		return g.aluInst(pc, isa.FPOp)
 	default:
 		return g.aluInst(pc, isa.IntALU)
