@@ -53,6 +53,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload generation seed")
 		detailed = flag.Bool("detailed", false, "cross-check each point with the detailed model (slow)")
 		jobs     = flag.Int("j", 1, "host worker goroutines (0 = all host cores)")
+		hostpar  = flag.Int("hostpar", 0, "host-parallel engine per scenario: one goroutine per simulated core (0 = sequential; results are bit-identical)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (written on normal exit)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on normal exit")
@@ -79,7 +80,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	s := &sweeper{ctx: ctx, insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs}
+	s := &sweeper{ctx: ctx, insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs, hostpar: *hostpar}
 	if *file != "" {
 		s.sweepFile(*file)
 		return
@@ -106,6 +107,7 @@ type sweeper struct {
 	seed        int64
 	detailed    bool
 	jobs        int
+	hostpar     int
 }
 
 // scenario builds one sweep scenario, treating a bad benchmark name (or
@@ -126,6 +128,7 @@ func (s *sweeper) point(name, model string, tweak func(*config.Machine)) *simrun
 		simrun.Insts(s.insts),
 		simrun.Warmup(s.warm),
 		simrun.Seed(s.seed),
+		simrun.HostParallel(s.hostpar),
 		simrun.Configure(tweak),
 	)
 }
@@ -159,7 +162,7 @@ func (s *sweeper) sweepFile(path string) {
 	// defaults) that omits insts/warmup/seed runs with -n/-warmup/-seed
 	// rather than the builder's defaults.
 	seed := s.seed
-	scs, err := simrun.LoadSpecs(f, simrun.Spec{Insts: s.insts, Warmup: s.warm, Seed: &seed})
+	scs, err := simrun.LoadSpecs(f, simrun.Spec{Insts: s.insts, Warmup: s.warm, Seed: &seed, HostPar: s.hostpar})
 	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", path, err)
@@ -266,6 +269,7 @@ func (s *sweeper) sweepFabric(names []string) {
 				simrun.Mix(names...),
 				simrun.Cores(cores),
 				simrun.Fabric(fabric),
+				simrun.HostParallel(s.hostpar),
 				simrun.Insts(s.insts),
 				simrun.Warmup(s.warm),
 				simrun.Seed(s.seed),

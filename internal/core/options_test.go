@@ -62,7 +62,7 @@ func TestWrongPathFetchTouchesICache(t *testing.T) {
 		bp := branch.NewUnit(m.Branch)
 		c := NewWithOptions(0, m.Core, opts, bp, mem, trace.NewSliceStream(insts), sim.NullSyncer{})
 		runToEnd(c)
-		return c, mem.InstAccesses
+		return c, mem.Stats().InstAccesses
 	}
 	base, baseAccesses := mk(Options{})
 	wp, wpAccesses := mk(Options{WrongPathFetch: true})

@@ -40,5 +40,5 @@ func TestDiagnoseX264(t *testing.T) {
 		now++
 	}
 	t.Logf("IPC=%.3f LLcharged=%d LLoverlapped=%d scanBreaks=%d hidden=%d longLat(total)=%d",
-		c.IPC(), c.LongLoadEvents, c.OverlapLL, c.ScanBreaks, c.OverlapHidden, mem.LongLatency)
+		c.IPC(), c.LongLoadEvents, c.OverlapLL, c.ScanBreaks, c.OverlapHidden, mem.Stats().LongLatency)
 }

@@ -41,6 +41,51 @@ type Fabric interface {
 	ResetStats()
 }
 
+// Arbiter is the arbitration seam the host-parallel engine (package
+// parsim) plugs into the hierarchy. The hierarchy brackets every touch of
+// the globally shared structures — the L2, the coherence engine, the
+// fabric and DRAM — between Enter and Exit; the private per-core
+// structures (L1s, TLBs, MSHR, prefetcher tables) are never bracketed.
+//
+// Enter blocks until the calling core holds the exclusive right to commit
+// at its current global-order point, so concurrent cores mutate the shared
+// state in exactly the order the sequential driver would have produced.
+// Sharing reports a cross-core effect (a remote-L1 invalidation) that the
+// parallel engine cannot replay deterministically; the engine aborts the
+// run and the caller falls back to the sequential driver.
+//
+// A nil arbiter (the default) is the sequential mode: no bracketing, no
+// overhead beyond one nil check on the miss paths.
+type Arbiter interface {
+	Enter(core int)
+	Exit(core int)
+	Sharing()
+}
+
+// AccessStats are the hierarchy's access counters. They are kept per core
+// (each core increments only its own slot, including under parallel
+// stepping) and aggregated by Stats.
+type AccessStats struct {
+	// InstAccesses and DataAccesses count I-side and D-side accesses.
+	InstAccesses uint64
+	DataAccesses uint64
+	// LongLatency counts long-latency events in the interval-model sense
+	// (last-level miss, coherence miss, D-TLB miss).
+	LongLatency uint64
+	// Prefetches counts issued prefetches; PrefetchFills those that went
+	// to DRAM.
+	Prefetches    uint64
+	PrefetchFills uint64
+}
+
+func (a *AccessStats) add(b AccessStats) {
+	a.InstAccesses += b.InstAccesses
+	a.DataAccesses += b.DataAccesses
+	a.LongLatency += b.LongLatency
+	a.Prefetches += b.Prefetches
+	a.PrefetchFills += b.PrefetchFills
+}
+
 // Kind classifies where an access was satisfied.
 type Kind uint8
 
@@ -115,7 +160,11 @@ type coreCaches struct {
 }
 
 // Hierarchy is the complete shared memory system for an N-core machine.
-// It is not safe for concurrent use; the simulators are single-threaded.
+// It is not safe for unconstrained concurrent use: the sequential drivers
+// call it from one goroutine, and the host-parallel engine may call it
+// from one goroutine per core only under the Arbiter discipline (each
+// core touches its own private structures; shared-structure sections are
+// serialized through the arbiter in global commit order).
 type Hierarchy struct {
 	cfg     config.Memory
 	perfect Perfect
@@ -127,13 +176,19 @@ type Hierarchy struct {
 	busOnly *interconnect.Bus // non-nil when the fabric is the bus
 	dram    memory.MainMemory
 	dirLat  int64 // home-node lookup cost; zero for snooping protocols
+	arb     Arbiter
 
-	// Statistics.
-	InstAccesses  uint64
-	DataAccesses  uint64
-	LongLatency   uint64
-	Prefetches    uint64
-	PrefetchFills uint64
+	// stats holds one counter block per core so parallel stepping never
+	// races on a shared counter; totals are order-insensitive sums.
+	stats []paddedStats
+}
+
+// paddedStats keeps each core's counters on their own cache line: the
+// counters are bumped on every access (the hottest path), and under
+// parallel stepping neighbouring cores must not false-share a line.
+type paddedStats struct {
+	AccessStats
+	_ [3]uint64
 }
 
 // newProtocol selects the coherence engine by name, and returns the
@@ -214,6 +269,7 @@ func New(n int, cfg config.Memory, perfect Perfect) *Hierarchy {
 		busOnly: busOnly,
 		dram:    newMainMemory(cfg),
 		dirLat:  dirLat,
+		stats:   make([]paddedStats, n),
 	}
 	if cfg.HasL2 {
 		h.l2 = cache.New(cfg.L2)
@@ -235,6 +291,22 @@ func New(n int, cfg config.Memory, perfect Perfect) *Hierarchy {
 
 // Config returns the memory configuration.
 func (h *Hierarchy) Config() config.Memory { return h.cfg }
+
+// SetArbiter installs the parallel-stepping arbitration seam (nil restores
+// the sequential mode). Install it before simulation starts, never during.
+func (h *Hierarchy) SetArbiter(a Arbiter) { h.arb = a }
+
+// Stats returns the access counters summed over all cores.
+func (h *Hierarchy) Stats() AccessStats {
+	var out AccessStats
+	for i := range h.stats {
+		out.add(h.stats[i].AccessStats)
+	}
+	return out
+}
+
+// CoreStats returns core's own access counters.
+func (h *Hierarchy) CoreStats(core int) AccessStats { return h.stats[core].AccessStats }
 
 // DRAM exposes the main-memory model (for bandwidth statistics).
 func (h *Hierarchy) DRAM() memory.MainMemory { return h.dram }
@@ -261,7 +333,7 @@ func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
 
 // Inst performs an I-side access for core at pc at time now.
 func (h *Hierarchy) Inst(core int, pc uint64, now int64) Result {
-	h.InstAccesses++
+	h.stats[core].InstAccesses++
 	if h.perfect.ISide {
 		return Result{Kind: L1Hit}
 	}
@@ -277,21 +349,34 @@ func (h *Hierarchy) Inst(core int, pc uint64, now int64) Result {
 	}
 	res.Miss = true
 	line := c.l1i.LineAddr(pc)
-	res.Latency += h.fab.AccessFrom(core, now)
-	if h.fetchL2(line, now+res.Latency, &res) {
-		res.Kind = L2Hit
+	if h.arb != nil {
+		h.arb.Enter(core)
+		h.instMiss(core, line, now, &res)
+		h.arb.Exit(core)
 	} else {
-		res.Kind = MemMiss
-		h.LongLatency++
+		h.instMiss(core, line, now, &res)
 	}
 	c.l1i.Fill(line, false)
 	return res
 }
 
+// instMiss is the shared-structure section of an I-side L1 miss: the
+// fabric transaction and the L2/DRAM access. Under parallel stepping it
+// runs inside the arbiter bracket.
+func (h *Hierarchy) instMiss(core int, line uint64, now int64, res *Result) {
+	res.Latency += h.fab.AccessFrom(core, now)
+	if h.fetchL2(line, now+res.Latency, res) {
+		res.Kind = L2Hit
+	} else {
+		res.Kind = MemMiss
+		h.stats[core].LongLatency++
+	}
+}
+
 // Data performs a D-side access for core at addr at time now. write is
 // true for stores.
 func (h *Hierarchy) Data(core int, addr uint64, write bool, now int64) Result {
-	h.DataAccesses++
+	h.stats[core].DataAccesses++
 	if h.perfect.DSide {
 		return Result{Kind: L1Hit}
 	}
@@ -308,8 +393,21 @@ func (h *Hierarchy) Data(core int, addr uint64, write bool, now int64) Result {
 		// The stride table watches the whole access stream (hits keep
 		// the stride confirmed), so a covered stream keeps the
 		// prefetcher running ahead instead of retraining on every miss.
-		for _, target := range c.stride.observe(line, h.cfg.L1D.LineSize) {
-			h.prefetchLine(core, c, target, now)
+		if targets := c.stride.observe(line, h.cfg.L1D.LineSize); len(targets) > 0 {
+			if h.arb != nil && !h.anyPrefetchNeeded(c, targets, now) {
+				// All targets are already resident or pending — purely
+				// private filters, so skip the ordering gate entirely.
+			} else {
+				if h.arb != nil {
+					h.arb.Enter(core)
+				}
+				for _, target := range targets {
+					h.prefetchLine(core, c, target, now)
+				}
+				if h.arb != nil {
+					h.arb.Exit(core)
+				}
+			}
 		}
 	}
 	if hit, wasDirty := c.l1d.AccessRW(addr, write); hit {
@@ -317,21 +415,42 @@ func (h *Hierarchy) Data(core int, addr uint64, write bool, now int64) Result {
 		// already-dirty line are already Modified. Only clean write
 		// hits on a multi-core machine need an upgrade.
 		if write && !wasDirty && h.multi {
+			if h.arb != nil {
+				h.arb.Enter(core)
+			}
 			cres := h.coh.Write(core, line)
 			if cres.Invalidations > 0 {
 				res.Latency += int64(h.cfg.L2BusLatency) + h.dirLat
 			}
 			h.dropRemoteCopies(core, line, cres.Invalidations)
+			if h.arb != nil {
+				h.arb.Exit(core)
+			}
 		}
 		res.Kind = L1Hit
 		if res.TLBMiss {
-			h.LongLatency++
+			h.stats[core].LongLatency++
 		}
 		return res
 	}
 	res.Miss = true
-	// L1 miss: consult the MSHR first — an outstanding miss on the same
-	// line means this access completes with the primary miss.
+	if h.arb != nil {
+		h.arb.Enter(core)
+		h.dataMiss(core, c, line, write, now, &res)
+		h.arb.Exit(core)
+	} else {
+		h.dataMiss(core, c, line, write, now, &res)
+	}
+	return res
+}
+
+// dataMiss handles an L1D miss: MSHR merge, coherence transaction, fabric
+// and L2/DRAM access, fill and next-line prefetch. Everything below the
+// private L1 lives here, so under parallel stepping the whole section runs
+// inside one arbiter bracket.
+func (h *Hierarchy) dataMiss(core int, c *coreCaches, line uint64, write bool, now int64, res *Result) {
+	// An outstanding miss on the same line means this access completes
+	// with the primary miss.
 	if completion, ok := c.mshr.Lookup(line, now); ok {
 		residual := completion - now
 		if residual < int64(h.cfg.L2.Latency) {
@@ -341,9 +460,9 @@ func (h *Hierarchy) Data(core int, addr uint64, write bool, now int64) Result {
 		res.Kind = L2Hit // merged: no new transaction below
 		h.fillL1D(core, c, line, write)
 		if res.TLBMiss {
-			h.LongLatency++
+			h.stats[core].LongLatency++
 		}
-		return res
+		return
 	}
 
 	var cres coherence.Result
@@ -369,18 +488,18 @@ func (h *Hierarchy) Data(core int, addr uint64, write bool, now int64) Result {
 	case cres.Source == coherence.SrcRemote:
 		res.Latency += int64(h.cfg.CacheToCacheLatency)
 		res.Kind = CoherenceMiss
-		h.LongLatency++
+		h.stats[core].LongLatency++
 	case h.perfect.L2:
 		res.Latency += int64(h.cfg.L2.Latency)
 		res.Kind = L2Hit
-	case h.fetchL2(line, now+res.Latency, &res):
+	case h.fetchL2(line, now+res.Latency, res):
 		res.Kind = L2Hit
 		if res.TLBMiss {
-			h.LongLatency++
+			h.stats[core].LongLatency++
 		}
 	default:
 		res.Kind = MemMiss
-		h.LongLatency++
+		h.stats[core].LongLatency++
 	}
 	c.mshr.Insert(line, now+res.Latency, now)
 	h.fillL1D(core, c, line, write)
@@ -394,20 +513,40 @@ func (h *Hierarchy) Data(core int, addr uint64, write bool, now int64) Result {
 			h.prefetchLine(core, c, line+uint64(d)*step, now)
 		}
 	}
-	return res
+}
+
+// prefetchNeeded is prefetchLine's private filter (L1 presence, MSHR
+// pendings) — one definition shared by the issue path and the gate-skip
+// predicate, so the two can never drift apart.
+func prefetchNeeded(c *coreCaches, line uint64, now int64) bool {
+	if c.l1d.Probe(line) {
+		return false
+	}
+	if _, pending := c.mshr.Lookup(line, now); pending {
+		return false
+	}
+	return true
+}
+
+// anyPrefetchNeeded applies prefetchNeeded to the targets; when none
+// survives, the caller can skip the global ordering gate.
+func (h *Hierarchy) anyPrefetchNeeded(c *coreCaches, targets []uint64, now int64) bool {
+	for _, line := range targets {
+		if prefetchNeeded(c, line, now) {
+			return true
+		}
+	}
+	return false
 }
 
 // prefetchLine issues one prefetch of line into core's L1D after a demand
 // miss. Prefetches run off the critical path: they occupy the fabric and
 // DRAM bandwidth but add no latency to the demand access.
 func (h *Hierarchy) prefetchLine(core int, c *coreCaches, line uint64, now int64) {
-	if c.l1d.Probe(line) {
+	if !prefetchNeeded(c, line, now) {
 		return
 	}
-	if _, pending := c.mshr.Lookup(line, now); pending {
-		return
-	}
-	h.Prefetches++
+	h.stats[core].Prefetches++
 	if h.multi {
 		h.coh.Read(core, line)
 	}
@@ -415,7 +554,7 @@ func (h *Hierarchy) prefetchLine(core int, c *coreCaches, line uint64, now int64
 	t := h.fab.AccessFrom(core, now)
 	if !h.fetchL2(line, now+t, &res) {
 		// L2 miss: fetchL2 already charged DRAM bandwidth.
-		h.PrefetchFills++
+		h.stats[core].PrefetchFills++
 	}
 	c.mshr.Insert(line, now+t+res.Latency, now)
 	h.fillL1D(core, c, line, false)
@@ -470,6 +609,15 @@ func (h *Hierarchy) dropRemoteCopies(core int, line uint64, invalidations int) {
 	if invalidations == 0 {
 		return
 	}
+	if h.arb != nil {
+		// A remote-L1 invalidation cannot be applied while the remote
+		// core steps concurrently (it may already have raced past this
+		// commit point). Flag the sharing violation — the parallel
+		// engine aborts and the run is redone sequentially — and leave
+		// the remote L1s alone; the aborted run's state is discarded.
+		h.arb.Sharing()
+		return
+	}
 	for i := range h.cores {
 		if i == core {
 			continue
@@ -495,6 +643,7 @@ func (h *Hierarchy) ResetStats() {
 	h.fab.ResetStats()
 	h.dram.ResetStats()
 	h.coh.ResetStats()
-	h.InstAccesses, h.DataAccesses, h.LongLatency = 0, 0, 0
-	h.Prefetches, h.PrefetchFills = 0, 0
+	for i := range h.stats {
+		h.stats[i].AccessStats = AccessStats{}
+	}
 }

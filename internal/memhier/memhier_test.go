@@ -185,7 +185,7 @@ func TestResetStats(t *testing.T) {
 	h.Data(0, 0x10000000000, true, 0)
 	h.Inst(1, 0x400000, 0)
 	h.ResetStats()
-	if h.DataAccesses != 0 || h.InstAccesses != 0 || h.LongLatency != 0 {
+	if st := h.Stats(); st.DataAccesses != 0 || st.InstAccesses != 0 || st.LongLatency != 0 {
 		t.Fatal("hierarchy counters survived ResetStats")
 	}
 	if h.L1D(0).Misses != 0 || h.L1I(1).Misses != 0 {
@@ -231,7 +231,7 @@ func TestNextLinePrefetcher(t *testing.T) {
 	h := New(1, cfg, Perfect{})
 	addr := uint64(0x50000000000)
 	h.Data(0, addr, false, 0) // demand miss: prefetch addr+64, addr+128
-	if h.Prefetches == 0 {
+	if h.Stats().Prefetches == 0 {
 		t.Fatal("no prefetches issued")
 	}
 	if !h.L1D(0).Probe(addr + 64) {
@@ -249,7 +249,7 @@ func TestNextLinePrefetcher(t *testing.T) {
 func TestPrefetcherOffByDefault(t *testing.T) {
 	h := newH(1)
 	h.Data(0, 0x50000000000, false, 0)
-	if h.Prefetches != 0 {
+	if h.Stats().Prefetches != 0 {
 		t.Fatal("baseline configuration prefetched")
 	}
 	if h.L1D(0).Probe(0x50000000000 + 64) {

@@ -112,14 +112,14 @@ func TestStridePrefetcherCatchesStriddedStream(t *testing.T) {
 		h.Data(0, base+uint64(i)*stride, false, now)
 		now += 1000
 	}
-	if h.Prefetches == 0 {
+	if h.Stats().Prefetches == 0 {
 		t.Fatal("stride prefetcher never fired on a constant-stride stream")
 	}
 	// Steady state: most accesses beyond the training prefix hit the L1
 	// because the prefetcher filled them.
 	misses := h.L1D(0).Misses
 	if misses > 16 {
-		t.Fatalf("%d demand misses on a covered stride stream (prefetches=%d)", misses, h.Prefetches)
+		t.Fatalf("%d demand misses on a covered stride stream (prefetches=%d)", misses, h.Stats().Prefetches)
 	}
 }
 
@@ -135,8 +135,8 @@ func TestStridePrefetcherIgnoresRandomTraffic(t *testing.T) {
 		h.Data(0, addr&^63, false, now)
 		now += 1000
 	}
-	if h.Prefetches > 40 {
-		t.Fatalf("stride prefetcher fired %d times on random traffic", h.Prefetches)
+	if h.Stats().Prefetches > 40 {
+		t.Fatalf("stride prefetcher fired %d times on random traffic", h.Stats().Prefetches)
 	}
 }
 
@@ -146,8 +146,8 @@ func TestNextlinePrefetchStillWorks(t *testing.T) {
 	cfg.PrefetchDegree = 2
 	h := New(1, cfg, Perfect{})
 	h.Data(0, 0x3000000, false, 0)
-	if h.Prefetches != 2 {
-		t.Fatalf("prefetches = %d, want 2", h.Prefetches)
+	if h.Stats().Prefetches != 2 {
+		t.Fatalf("prefetches = %d, want 2", h.Stats().Prefetches)
 	}
 	// The prefetched next line hits.
 	r := h.Data(0, 0x3000000+64, false, 1000)

@@ -134,7 +134,7 @@ func TestDiagnoseMcf(t *testing.T) {
 	t.Logf("interval: IPC=%.3f events: I=%d br=%d LL=%d ser=%d hidden=%d",
 		c.IPC(), c.ICacheEvents, c.BranchEvents, c.LongLoadEvents, c.SerializeEvents, c.OverlapHidden)
 	t.Logf("L1D miss=%d dram req=%d dramStall=%d longLat=%d",
-		mem.L1D(0).Misses, mem.DRAM().Stats().Requests, mem.DRAM().Stats().StallTotal, mem.LongLatency)
+		mem.L1D(0).Misses, mem.DRAM().Stats().Requests, mem.DRAM().Stats().StallTotal, mem.Stats().LongLatency)
 }
 
 // TestDiagnoseMcfDetailed compares per-model event accounting for mcf.
@@ -263,7 +263,7 @@ func TestDiagnoseMultiprog(t *testing.T) {
 			}
 			t.Logf("%v n=%d: IPCs=%v dram=%d dramStall=%d L2miss=%.3f longLat=%d",
 				model, n, ipcList, mem.DRAM().Stats().Requests, mem.DRAM().Stats().StallTotal,
-				mem.L2().MissRate(), mem.LongLatency)
+				mem.L2().MissRate(), mem.Stats().LongLatency)
 		}
 	}
 }

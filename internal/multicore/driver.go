@@ -176,24 +176,7 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 		warmup(mem, bps, warm, cfg.WarmupInsts)
 	}
 
-	cores := make([]sim.Core, cfg.Machine.Cores)
-	for i := range cores {
-		bp := bps[i]
-		if cfg.NewCore != nil {
-			cores[i] = cfg.NewCore(i, bp, mem, streams[i], coord)
-			continue
-		}
-		switch cfg.Model {
-		case Detailed:
-			cores[i] = ooo.New(i, cfg.Machine.Core, bp, mem, streams[i], coord)
-		case Interval:
-			cores[i] = core.NewWithOptions(i, cfg.Machine.Core, cfg.Ablation, bp, mem, streams[i], coord)
-		case OneIPC:
-			cores[i] = oneipc.New(i, mem, streams[i], coord)
-		default:
-			panic("multicore: unknown model")
-		}
-	}
+	cores := BuildCores(cfg, bps, mem, coord, streams)
 
 	label := cfg.ModelName
 	if label == "" {
@@ -359,6 +342,48 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 	}
 	finishResult(&res, cores, now)
 	return res
+}
+
+// BuildCores constructs the per-core model instances for cfg: through the
+// NewCore factory hook when set, through the built-in model switch
+// otherwise. It is shared by the sequential driver and the host-parallel
+// engine (package parsim), so both build bit-identical machines.
+func BuildCores(cfg RunConfig, bps []*branch.Unit, mem *memhier.Hierarchy, coord sim.Syncer, streams []trace.Stream) []sim.Core {
+	cores := make([]sim.Core, cfg.Machine.Cores)
+	for i := range cores {
+		bp := bps[i]
+		if cfg.NewCore != nil {
+			cores[i] = cfg.NewCore(i, bp, mem, streams[i], coord)
+			continue
+		}
+		switch cfg.Model {
+		case Detailed:
+			cores[i] = ooo.New(i, cfg.Machine.Core, bp, mem, streams[i], coord)
+		case Interval:
+			cores[i] = core.NewWithOptions(i, cfg.Machine.Core, cfg.Ablation, bp, mem, streams[i], coord)
+		case OneIPC:
+			cores[i] = oneipc.New(i, mem, streams[i], coord)
+		default:
+			panic("multicore: unknown model")
+		}
+	}
+	return cores
+}
+
+// Warmup functionally warms the caches, TLBs and branch predictors with n
+// instructions per core and clears statistics afterwards — the sequential
+// driver's warmup, exported so the host-parallel engine (package parsim)
+// warms the machine identically before parallel stepping begins.
+func Warmup(mem *memhier.Hierarchy, bps []*branch.Unit, streams []trace.Stream, n int) {
+	warmup(mem, bps, streams, n)
+}
+
+// FinishResult fills the per-core results and machine-level totals after
+// stepping ends: per-core retired counts, finish times (now for cores that
+// did not finish) and the machine-level cycle count. Exported for the
+// host-parallel engine, which assembles its Result the same way.
+func FinishResult(res *Result, cores []sim.Core, now int64) {
+	finishResult(res, cores, now)
 }
 
 // finishResult fills the per-core results and machine-level totals after

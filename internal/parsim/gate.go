@@ -1,0 +1,177 @@
+package parsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// doneKey is the published order key of a core that will issue no further
+// shared-hierarchy accesses (finished, timed out, or stopped).
+const doneKey = int64(^uint64(0) >> 1)
+
+// abortNone/abortSharing/abortSync classify why a parallel run had to be
+// abandoned. Sharing and synchronization both mean the workload's threads
+// interact in ways the engine cannot replay deterministically, so the
+// caller reruns the scenario on the sequential driver.
+const (
+	abortNone int32 = iota
+	abortSharing
+	abortSync
+)
+
+// paddedKey is one core's published order key on its own cache line, so
+// the publish-per-step stores of neighbouring cores do not false-share.
+type paddedKey struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// gate is the deterministic commit-order arbiter. Every core publishes an
+// order key for the earliest global-order point at which it could still
+// touch the shared hierarchy:
+//
+//	key = cycle*n + rotation position of the core at that cycle
+//
+// which is exactly the sequential driver's commit order — global cycles
+// ascending, and within a cycle the driver's rotated core order. A core
+// in Step(t) keeps key(t); an idle core at next activation t' publishes
+// key(t'). memhier.Arbiter's Enter then simply waits until the caller
+// holds the minimal key: every shared-structure mutation happens in the
+// identical order the sequential driver would have produced, regardless
+// of GOMAXPROCS or goroutine scheduling. The core holding the minimal key
+// never waits, so the system always makes progress.
+type gate struct {
+	n    int
+	keys []paddedKey
+
+	// mu additionally brackets every shared section. While the run is
+	// healthy the ordering already implies mutual exclusion and the lock
+	// is uncontended; once an abort or interrupt breaks the ordering
+	// discipline, the lock alone keeps the (discarded or partial) run
+	// race-free.
+	mu sync.Mutex
+
+	// abort is the violation flag (abortSharing / abortSync); stop is the
+	// interrupt flag. Either releases all waiters.
+	abort atomic.Int32
+	stop  atomic.Bool
+
+	// enters counts gated shared sections (observability).
+	enters atomic.Uint64
+}
+
+func newGate(n int) *gate {
+	g := &gate{n: n, keys: make([]paddedKey, n)}
+	for i := 0; i < n; i++ {
+		g.keys[i].v.Store(g.key(0, i))
+	}
+	return g
+}
+
+// rot is the core's position in the sequential driver's rotated stepping
+// order at the given cycle (the driver rotates by cycle%n over the full
+// core count, so finished cores do not perturb the order of the rest).
+func (g *gate) rot(cycle int64, core int) int64 {
+	r := (int64(core) - cycle) % int64(g.n)
+	if r < 0 {
+		r += int64(g.n)
+	}
+	return r
+}
+
+// key packs (cycle, rotation position) into one ordered int64.
+func (g *gate) key(cycle int64, core int) int64 {
+	return cycle*int64(g.n) + g.rot(cycle, core)
+}
+
+// publish announces core's next possible access point. Called only by the
+// core's own goroutine; keys are monotone per core.
+func (g *gate) publish(core int, cycle int64) {
+	g.keys[core].v.Store(g.key(cycle, core))
+}
+
+// retire announces that core will issue no further accesses.
+func (g *gate) retire(core int) {
+	g.keys[core].v.Store(doneKey)
+}
+
+// broken reports whether the ordering discipline has been abandoned
+// (violation abort or interrupt).
+func (g *gate) broken() bool {
+	return g.abort.Load() != abortNone || g.stop.Load()
+}
+
+// waitReach blocks until every core has published a position at or beyond
+// cycle (the epoch barrier). It returns false when released by an abort or
+// interrupt instead.
+func (g *gate) waitReach(cycle int64) bool {
+	threshold := cycle * int64(g.n)
+	for {
+		if g.broken() {
+			return false
+		}
+		ok := true
+		for j := 0; j < g.n; j++ {
+			if g.keys[j].v.Load() < threshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		runtime.Gosched()
+	}
+}
+
+// Enter implements memhier.Arbiter: block until core's published key is
+// the global minimum (its access is the next one in sequential commit
+// order), then take the shared-section lock.
+func (g *gate) Enter(core int) {
+	g.enters.Add(1)
+	my := g.keys[core].v.Load() // owner-published: stable during the step
+	for !g.broken() {
+		ok := true
+		for j := 0; j < g.n; j++ {
+			if j != core && g.keys[j].v.Load() < my {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		runtime.Gosched()
+	}
+	g.mu.Lock()
+}
+
+// Exit implements memhier.Arbiter.
+func (g *gate) Exit(core int) {
+	g.mu.Unlock()
+}
+
+// Sharing implements memhier.Arbiter: a cross-core L1 invalidation cannot
+// be replayed deterministically under parallel stepping, so the run is
+// abandoned and redone sequentially.
+func (g *gate) Sharing() {
+	g.abort.CompareAndSwap(abortNone, abortSharing)
+}
+
+// syncTrap is the sim.Syncer handed to cores under parallel stepping.
+// Thread synchronization (barriers, locks) couples the cores' timing
+// through shared arbitration state polled every cycle — the engine aborts
+// to the sequential driver the moment a synchronization instruction
+// appears. The decision returned keeps the core harmlessly stepping until
+// its goroutine observes the abort; the run's results are discarded.
+type syncTrap struct{ g *gate }
+
+// Sync implements sim.Syncer.
+func (s syncTrap) Sync(core int, in *isa.Inst, now int64) sim.SyncDecision {
+	s.g.abort.CompareAndSwap(abortNone, abortSync)
+	return sim.SyncDecision{Proceed: true, Latency: 1}
+}

@@ -1,0 +1,278 @@
+// Package parsim is the host-parallel deterministic multicore engine: it
+// runs each simulated core on its own host goroutine and produces output
+// bit-identical to the sequential multicore driver.
+//
+// # Why this is possible
+//
+// Interval simulation (the paper's model) makes per-core timing cheap, so
+// for multi-core runs the shared-resource model — L2, coherence, fabric,
+// DRAM — is the only coupling between cores. Each core's private work
+// (window scans, L1/TLB lookups, stream generation) is independent and
+// can proceed concurrently; only the touches of the shared hierarchy must
+// happen in the exact order the sequential driver would have produced.
+//
+// # How determinism is kept
+//
+// Cores advance in bounded epochs (quantum = a configurable cycle
+// window) with a barrier between epochs, and publish an order key
+// (cycle, rotation position) for the earliest point at which they could
+// still issue a shared-hierarchy request. The arbitration seam in
+// internal/memhier brackets every shared-structure section; the bracket
+// blocks until the requesting core holds the globally minimal key, which
+// serializes the shared accesses in exactly the sequential driver's
+// commit order — global cycle ascending, rotated core order within a
+// cycle, program order within a step. Private work overlaps freely.
+// The result: report.JSON is byte-identical to multicore.Run for any
+// GOMAXPROCS and any goroutine schedule.
+//
+// # True sharing falls back
+//
+// Two thread interactions cannot be replayed deterministically while the
+// affected core races ahead on another goroutine: a coherence
+// invalidation of a remote L1 line, and barrier/lock synchronization
+// instructions. Both abort the parallel run (Run returns ok=false) and
+// the caller reruns the scenario on the sequential driver from fresh
+// streams — bit-identity is preserved unconditionally; the parallel
+// speedup applies to multiprogram workloads (the paper's SPEC mixes),
+// whose per-core address spaces are disjoint.
+package parsim
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/branch"
+	"repro/internal/memhier"
+	"repro/internal/metrics"
+	"repro/internal/multicore"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DefaultQuantum is the default epoch length in simulated cycles. It only
+// bounds the skew between cores (correctness holds for any value ≥ 1):
+// small quanta synchronize often, large quanta let cores free-run between
+// ordering points.
+const DefaultQuantum = 8192
+
+// Config tunes the engine.
+type Config struct {
+	// Quantum is the epoch length in simulated cycles (≤0 selects
+	// DefaultQuantum). Any value ≥ 1 produces identical simulation
+	// results; it is a host-performance knob only.
+	Quantum int64
+	// Stats, when non-nil, receives engine observability counters.
+	Stats *Stats
+}
+
+// Stats reports what the engine did on a run.
+type Stats struct {
+	// GatedSections counts shared-hierarchy sections that went through
+	// the ordering gate.
+	GatedSections uint64
+	// AbortedSharing is set when the run was abandoned because of a
+	// cross-core invalidation; AbortedSync when a synchronization
+	// instruction appeared.
+	AbortedSharing bool
+	AbortedSync    bool
+}
+
+// coreStop records how one core's goroutine ended.
+type coreStop struct {
+	timedOut bool
+	// at is the core's stop cycle: its first not-executed step cycle.
+	at int64
+}
+
+// Run simulates the streams (one per core) to completion under cfg with
+// one goroutine per simulated core, and returns the result. ok is false
+// when the run had to be abandoned because the workload's threads share
+// data or synchronize; the caller must then rerun the scenario on
+// multicore.Run with freshly built streams (generators are stateful).
+// A completed run (ok=true) is bit-identical to the sequential driver's.
+func Run(cfg multicore.RunConfig, opt Config, streams []trace.Stream) (multicore.Result, bool) {
+	n := cfg.Machine.Cores
+	if len(streams) != n {
+		panic("parsim: stream count does not match core count")
+	}
+	if n == 1 {
+		// Nothing to parallelize: the sequential single-core fast loop
+		// is optimal.
+		return multicore.Run(cfg, streams), true
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	quantum := opt.Quantum
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+
+	mem := memhier.New(n, cfg.Machine.Mem, cfg.Perfect)
+	bps := make([]*branch.Unit, n)
+	for i := range bps {
+		bps[i] = branch.NewUnit(cfg.Machine.Branch)
+	}
+	if cfg.WarmupInsts > 0 {
+		warm := cfg.Warmup
+		if warm == nil {
+			warm = streams
+		}
+		multicore.Warmup(mem, bps, warm, cfg.WarmupInsts)
+	}
+
+	g := newGate(n)
+	cores := multicore.BuildCores(cfg, bps, mem, syncTrap{g}, streams)
+	mem.SetArbiter(g)
+	defer mem.SetArbiter(nil)
+
+	label := cfg.ModelName
+	if label == "" {
+		label = cfg.Model.String()
+	}
+	res := multicore.Result{Model: cfg.Model, ModelName: label, Cores: make([]multicore.CoreResult, n)}
+
+	e := &engine{gate: g, quantum: quantum, maxCycles: maxCycles, interrupt: cfg.Interrupt}
+	stops := make([]coreStop, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.runCore(i, cores[i], &stops[i])
+		}(i)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	if opt.Stats != nil {
+		*opt.Stats = Stats{
+			GatedSections:  g.enters.Load(),
+			AbortedSharing: g.abort.Load() == abortSharing,
+			AbortedSync:    g.abort.Load() == abortSync,
+		}
+	}
+	if g.abort.Load() != abortNone {
+		return res, false
+	}
+	res.Interrupted = g.stop.Load()
+
+	// nowFinal mirrors the sequential driver's final global time for
+	// cores that did not finish: the minimum over their stop cycles (the
+	// first next-step cycle at or beyond the limit).
+	nowFinal := int64(0)
+	first := true
+	for i, c := range cores {
+		if c.Done() {
+			continue
+		}
+		if stops[i].timedOut {
+			res.TimedOut = true
+		}
+		if first || stops[i].at < nowFinal {
+			nowFinal = stops[i].at
+			first = false
+		}
+	}
+	if cfg.KeepCores {
+		res.Sim = cores
+		res.Mem = mem
+	}
+	if res.Interrupted {
+		// An interrupt abandons the ordering discipline, so cores stop
+		// at skewed cycles; unlike a completed or timed-out run there is
+		// no single consistent global stop time. Report each unfinished
+		// core against its own stop cycle so the partial per-core IPCs
+		// are at least internally consistent.
+		finishInterrupted(&res, cores, stops)
+		return res, true
+	}
+	multicore.FinishResult(&res, cores, nowFinal)
+	return res, true
+}
+
+// finishInterrupted fills the result of an interrupted run: per-core
+// retired counts and finish times, with each unfinished core measured at
+// its own stop cycle.
+func finishInterrupted(res *multicore.Result, cores []sim.Core, stops []coreStop) {
+	for i, c := range cores {
+		fin := c.FinishTime()
+		if !c.Done() {
+			fin = stops[i].at
+		}
+		res.Cores[i] = multicore.CoreResult{
+			Retired: c.Retired(),
+			Finish:  fin,
+			IPC:     metrics.IPC(c.Retired(), fin),
+		}
+		res.TotalRetired += c.Retired()
+		if fin > res.Cycles {
+			res.Cycles = fin
+		}
+	}
+}
+
+// engine drives the per-core goroutines.
+type engine struct {
+	*gate
+	quantum   int64
+	maxCycles int64
+	interrupt <-chan struct{}
+}
+
+// runCore is one simulated core's stepping loop. It reproduces the
+// sequential driver's effective step sequence for this core: Step at
+// every cycle the core is active (all three built-in models no-op or are
+// insensitive when stepped at other cycles, so the per-core schedule is
+// equivalent to the global one), advancing by NextActive for
+// time-skipping models and cycle by cycle otherwise.
+func (e *engine) runCore(i int, c sim.Core, st *coreStop) {
+	defer e.retire(i)
+	ts, _ := c.(sim.TimeSkipper)
+	t := int64(0)
+	epochEnd := e.quantum
+	if c.Done() {
+		return
+	}
+	for iter := uint(0); ; iter++ {
+		if e.broken() {
+			st.at = t
+			return
+		}
+		if t >= e.maxCycles {
+			st.timedOut = true
+			st.at = t
+			return
+		}
+		if t >= epochEnd {
+			// Epoch barrier: before stepping into t's epoch, every
+			// core must have left the epochs before it.
+			target := t - t%e.quantum
+			if !e.waitReach(target) {
+				continue // released by abort/interrupt: re-check flags
+			}
+			epochEnd = target + e.quantum
+		}
+		c.Step(t)
+		if c.Done() {
+			return
+		}
+		nt := t + 1
+		if ts != nil {
+			if na := ts.NextActive(nt); na > nt {
+				nt = na
+			}
+		}
+		e.publish(i, nt)
+		t = nt
+		if e.interrupt != nil && iter&255 == 0 {
+			select {
+			case <-e.interrupt:
+				e.stop.Store(true)
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package parsim_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/multicore"
+	"repro/internal/parsim"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// mix is the multiprogram workload the equivalence tests run: one SPEC
+// profile per core, disjoint per-core address spaces — the paper's
+// multi-program configuration and the engine's speedup case.
+var mix = []string{"gcc", "mcf", "swim", "vpr", "twolf", "parser", "art", "mesa"}
+
+// mixStreams builds the measured and warmup-twin streams for an n-core
+// multiprogram run. Each core gets its own thread slot (disjoint private
+// address spaces, like simrun's SPEC copies path), so the cores never
+// share cache lines — the configuration the parallel engine accelerates.
+func mixStreams(n, insts int) (streams, warm []trace.Stream) {
+	for i := 0; i < n; i++ {
+		p := workload.SPECByName(mix[i%len(mix)])
+		streams = append(streams, trace.NewLimit(workload.New(p, i, n, 42), insts))
+		warm = append(warm, workload.New(p, i, n, 1042))
+	}
+	return streams, warm
+}
+
+// seqJSON runs the sequential driver and renders the deterministic report.
+func seqJSON(t *testing.T, cfg multicore.RunConfig, streams []trace.Stream) []byte {
+	t.Helper()
+	res := multicore.Run(cfg, streams)
+	raw, err := report.JSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// parJSON runs the host-parallel engine and renders the report; the run
+// must complete without falling back.
+func parJSON(t *testing.T, cfg multicore.RunConfig, opt parsim.Config, streams []trace.Stream) []byte {
+	t.Helper()
+	res, ok := parsim.Run(cfg, opt, streams)
+	if !ok {
+		t.Fatal("parsim.Run aborted on a multiprogram workload (no sharing expected)")
+	}
+	raw, err := report.JSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// gomaxprocsLevels are the host-parallelism settings every equivalence
+// case repeats under: single-threaded, two-way, and whatever the host has.
+func gomaxprocsLevels() []int {
+	levels := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// TestParallelMatchesSequential is the engine's conformance contract: for
+// all three core models, a multiprogram multi-core run on the parallel
+// engine must produce a byte-identical report.JSON to the sequential
+// driver, at every GOMAXPROCS level.
+func TestParallelMatchesSequential(t *testing.T) {
+	const insts, warm = 6_000, 20_000
+	models := []multicore.Model{multicore.Interval, multicore.Detailed, multicore.OneIPC}
+
+	for _, m := range models {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := multicore.RunConfig{
+				Machine:     config.Default(4),
+				Model:       m,
+				WarmupInsts: warm,
+				KeepCores:   true,
+			}
+			s, w := mixStreams(4, insts)
+			cfgSeq := cfg
+			cfgSeq.Warmup = w
+			want := seqJSON(t, cfgSeq, s)
+
+			for _, procs := range gomaxprocsLevels() {
+				prev := runtime.GOMAXPROCS(procs)
+				s, w := mixStreams(4, insts)
+				cfgPar := cfg
+				cfgPar.Warmup = w
+				got := parJSON(t, cfgPar, parsim.Config{}, s)
+				runtime.GOMAXPROCS(prev)
+				if !bytes.Equal(want, got) {
+					t.Fatalf("GOMAXPROCS=%d: parallel report differs from sequential:\n%s\n--\n%s",
+						procs, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialEightCores covers the wider machine the
+// bench trajectory measures, interval model only (the other models are
+// covered above and are much slower at this width).
+func TestParallelMatchesSequentialEightCores(t *testing.T) {
+	const insts = 4_000
+	cfg := multicore.RunConfig{
+		Machine:   config.Default(8),
+		Model:     multicore.Interval,
+		KeepCores: true,
+	}
+	s, _ := mixStreams(8, insts)
+	want := seqJSON(t, cfg, s)
+	s, _ = mixStreams(8, insts)
+	got := parJSON(t, cfg, parsim.Config{}, s)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("8-core parallel report differs from sequential:\n%s\n--\n%s", want, got)
+	}
+}
+
+// TestParallelRepeatable: two parallel runs of the same scenario must be
+// byte-identical to each other (scheduling independence), including the
+// gate statistics path being exercised.
+func TestParallelRepeatable(t *testing.T) {
+	const insts = 5_000
+	cfg := multicore.RunConfig{Machine: config.Default(4), Model: multicore.Interval, KeepCores: true}
+	var stats parsim.Stats
+	s, _ := mixStreams(4, insts)
+	a := parJSON(t, cfg, parsim.Config{Stats: &stats}, s)
+	s, _ = mixStreams(4, insts)
+	b := parJSON(t, cfg, parsim.Config{}, s)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two parallel runs differ:\n%s\n--\n%s", a, b)
+	}
+	if stats.GatedSections == 0 {
+		t.Fatal("no gated shared sections recorded — the ordering gate is not engaged")
+	}
+}
+
+// TestTimeoutMatchesSequential: a run cut off by MaxCycles must stop at
+// the same simulated instant in both engines.
+func TestTimeoutMatchesSequential(t *testing.T) {
+	const insts = 50_000
+	cfg := multicore.RunConfig{
+		Machine:   config.Default(4),
+		Model:     multicore.Interval,
+		MaxCycles: 3_000,
+		KeepCores: true,
+	}
+	s, _ := mixStreams(4, insts)
+	want := seqJSON(t, cfg, s)
+	s, _ = mixStreams(4, insts)
+	res, ok := parsim.Run(cfg, parsim.Config{}, s)
+	if !ok {
+		t.Fatal("parallel run aborted")
+	}
+	if !res.TimedOut {
+		t.Fatal("parallel run did not report the cycle-limit timeout")
+	}
+	got, err := report.JSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("timed-out reports differ:\n%s\n--\n%s", want, got)
+	}
+}
+
+// sharingStreams builds two streams that write the same cache line, which
+// must trigger a coherence invalidation and abort the parallel run.
+func sharingStreams() []trace.Stream {
+	mk := func(base uint64) []isa.Inst {
+		insts := make([]isa.Inst, 0, 400)
+		for i := 0; i < 200; i++ {
+			insts = append(insts,
+				isa.Inst{Class: isa.Store, PC: base + uint64(i)*4, Addr: 0x9000, Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone},
+				isa.Inst{Class: isa.IntALU, PC: base + uint64(i)*4 + 4, Src1: isa.RegNone, Src2: isa.RegNone, Dst: 1},
+			)
+		}
+		return insts
+	}
+	return []trace.Stream{
+		trace.NewSliceStream(mk(0x400000)),
+		trace.NewSliceStream(mk(0x800000)),
+	}
+}
+
+// TestSharingAbortsToFallback: true data sharing cannot be replayed
+// deterministically in parallel; the engine must refuse the run and tell
+// the caller to fall back.
+func TestSharingAbortsToFallback(t *testing.T) {
+	cfg := multicore.RunConfig{Machine: config.Default(2), Model: multicore.OneIPC}
+	var stats parsim.Stats
+	_, ok := parsim.Run(cfg, parsim.Config{Stats: &stats}, sharingStreams())
+	if ok {
+		t.Fatal("parallel run of a line-sharing workload did not abort")
+	}
+	if !stats.AbortedSharing {
+		t.Fatalf("abort reason: %+v, want AbortedSharing", stats)
+	}
+}
+
+// TestSyncAbortsToFallback: barrier/lock instructions couple the cores'
+// timing through the coordinator; the engine must refuse the run.
+func TestSyncAbortsToFallback(t *testing.T) {
+	mk := func() []isa.Inst {
+		return []isa.Inst{
+			{Class: isa.IntALU, PC: 0x1000, Src1: isa.RegNone, Src2: isa.RegNone, Dst: 1},
+			{Class: isa.BarrierArrive, PC: 0x1004, Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone},
+			{Class: isa.IntALU, PC: 0x1008, Src1: isa.RegNone, Src2: isa.RegNone, Dst: 2},
+		}
+	}
+	cfg := multicore.RunConfig{Machine: config.Default(2), Model: multicore.OneIPC}
+	var stats parsim.Stats
+	_, ok := parsim.Run(cfg, parsim.Config{Stats: &stats},
+		[]trace.Stream{trace.NewSliceStream(mk()), trace.NewSliceStream(mk())})
+	if ok {
+		t.Fatal("parallel run of a synchronizing workload did not abort")
+	}
+	if !stats.AbortedSync {
+		t.Fatalf("abort reason: %+v, want AbortedSync", stats)
+	}
+}
+
+// TestInterrupt: closing the interrupt channel stops the engine promptly
+// with the partial result marked interrupted.
+func TestInterrupt(t *testing.T) {
+	ch := make(chan struct{})
+	close(ch)
+	cfg := multicore.RunConfig{
+		Machine:   config.Default(2),
+		Model:     multicore.Interval,
+		Interrupt: ch,
+	}
+	s, _ := mixStreams(2, 200_000)
+	res, ok := parsim.Run(cfg, parsim.Config{}, s)
+	if !ok {
+		t.Fatal("interrupted run reported a sharing abort")
+	}
+	if !res.Interrupted {
+		t.Fatal("interrupted run not marked Interrupted")
+	}
+}
+
+// TestSingleCoreDelegates: one simulated core has nothing to parallelize
+// and must behave exactly like the sequential driver.
+func TestSingleCoreDelegates(t *testing.T) {
+	cfg := multicore.RunConfig{Machine: config.Default(1), Model: multicore.Interval, KeepCores: true}
+	p := workload.SPECByName("gcc")
+	want := seqJSON(t, cfg, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), 5_000)})
+	got := parJSON(t, cfg, parsim.Config{},
+		[]trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), 5_000)})
+	if !bytes.Equal(want, got) {
+		t.Fatalf("single-core reports differ:\n%s\n--\n%s", want, got)
+	}
+}
+
+// TestKnobbedConfigurations runs the parallel engine across the machine
+// knobs that change which shared structures are exercised (fabrics, the
+// directory protocol, banked DRAM, prefetchers) and checks bit-identity
+// for each.
+func TestKnobbedConfigurations(t *testing.T) {
+	const insts = 4_000
+	cases := []struct {
+		name  string
+		tweak func(*config.Machine)
+	}{
+		{"mesh", func(m *config.Machine) { m.Mem.Interconnect = "mesh" }},
+		{"ring", func(m *config.Machine) { m.Mem.Interconnect = "ring" }},
+		{"directory", func(m *config.Machine) { m.Mem.Coherence = "directory" }},
+		{"banked-dram", func(m *config.Machine) { m.Mem.DRAMKind = "banked" }},
+		{"nextline-prefetch", func(m *config.Machine) { m.Mem.Prefetch = "nextline"; m.Mem.PrefetchDegree = 2 }},
+		{"stride-prefetch", func(m *config.Machine) { m.Mem.Prefetch = "stride"; m.Mem.PrefetchDegree = 2 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			machine := config.Default(4)
+			tc.tweak(&machine)
+			cfg := multicore.RunConfig{Machine: machine, Model: multicore.Interval, KeepCores: true}
+			s, _ := mixStreams(4, insts)
+			want := seqJSON(t, cfg, s)
+			s, _ = mixStreams(4, insts)
+			got := parJSON(t, cfg, parsim.Config{}, s)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("%s: parallel report differs from sequential:\n%s\n--\n%s", tc.name, want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package parsim_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/parsim"
+)
+
+// TestQuantumInvariance: the epoch quantum is a host-performance knob
+// only — every value, including the degenerate lockstep quantum of 1 and
+// quanta that do not divide the run length, must produce the identical
+// report. The fixed cases pin the edges; the seeded random cases fuzz the
+// space (deterministically, so failures reproduce).
+func TestQuantumInvariance(t *testing.T) {
+	const insts = 3_000
+	cfg := multicore.RunConfig{Machine: config.Default(4), Model: multicore.Interval, KeepCores: true}
+	s, _ := mixStreams(4, insts)
+	want := seqJSON(t, cfg, s)
+
+	quanta := []int64{1, 2, 3, 97, 1000, 8192, 1 << 20}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 6; i++ {
+		quanta = append(quanta, 1+rng.Int63n(20_000))
+	}
+	for _, q := range quanta {
+		s, _ := mixStreams(4, insts)
+		got := parJSON(t, cfg, parsim.Config{Quantum: q}, s)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("quantum=%d: parallel report differs from sequential:\n%s\n--\n%s", q, want, got)
+		}
+	}
+}
+
+// TestQuantumInvarianceWithTimeout crosses the quantum fuzz with a cycle
+// limit that lands inside an epoch, the interaction most likely to
+// misplace the stop point.
+func TestQuantumInvarianceWithTimeout(t *testing.T) {
+	const insts = 50_000
+	cfg := multicore.RunConfig{
+		Machine:   config.Default(4),
+		Model:     multicore.Interval,
+		MaxCycles: 2_777,
+		KeepCores: true,
+	}
+	s, _ := mixStreams(4, insts)
+	want := seqJSON(t, cfg, s)
+	for _, q := range []int64{1, 13, 1000, 4096} {
+		s, _ := mixStreams(4, insts)
+		got := parJSON(t, cfg, parsim.Config{Quantum: q}, s)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("quantum=%d with MaxCycles: reports differ:\n%s\n--\n%s", q, want, got)
+		}
+	}
+}

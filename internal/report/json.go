@@ -98,8 +98,8 @@ func Summarize(res multicore.Result) Summary {
 	h := res.Mem
 	mem := &MemSummary{
 		Cores:         make([]MemCoreSummary, len(res.Cores)),
-		Prefetches:    h.Prefetches,
-		PrefetchFills: h.PrefetchFills,
+		Prefetches:    h.Stats().Prefetches,
+		PrefetchFills: h.Stats().PrefetchFills,
 	}
 	for i := range res.Cores {
 		mem.Cores[i] = MemCoreSummary{

@@ -55,9 +55,9 @@ func Format(res multicore.Result) string {
 		coh := h.Coherence().Stats()
 		fmt.Fprintf(&b, "  coherence: interventions=%d upgrades=%d invalidations=%d\n",
 			coh.Interventions, coh.Upgrades, coh.Invalidations)
-		if h.Prefetches > 0 {
+		if st := h.Stats(); st.Prefetches > 0 {
 			fmt.Fprintf(&b, "  prefetch: issued=%d fills-from-DRAM=%d\n",
-				h.Prefetches, h.PrefetchFills)
+				st.Prefetches, st.PrefetchFills)
 		}
 	}
 

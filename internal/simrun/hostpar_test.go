@@ -1,0 +1,121 @@
+package simrun_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/simrun"
+)
+
+// runJSON builds the scenario, runs it and renders the deterministic
+// report bytes.
+func runJSON(t *testing.T, bench string, opts ...simrun.Option) []byte {
+	t.Helper()
+	opts = append(opts, simrun.KeepCores())
+	s, err := simrun.New(bench, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := report.JSON(res.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestHostParallelThroughFacade: the HostParallel option must produce
+// byte-identical reports through the scenario facade for the multiprogram
+// path the engine accelerates.
+func TestHostParallelThroughFacade(t *testing.T) {
+	base := []simrun.Option{
+		simrun.Model("interval"),
+		simrun.Copies(4),
+		simrun.Insts(5_000),
+		simrun.Warmup(10_000),
+	}
+	seq := runJSON(t, "gcc", base...)
+	par := runJSON(t, "gcc", append(append([]simrun.Option{}, base...), simrun.HostParallel(4))...)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("hostpar report differs from sequential:\n%s\n--\n%s", seq, par)
+	}
+}
+
+// TestHostParallelMixFallsBack: Mix workloads share one address space, so
+// the parallel attempt aborts and the fallback must still deliver the
+// canonical sequential result.
+func TestHostParallelMixFallsBack(t *testing.T) {
+	base := []simrun.Option{
+		simrun.Model("interval"),
+		simrun.Mix("gcc", "mcf", "swim", "vpr"),
+		simrun.Insts(4_000),
+	}
+	seq := runJSON(t, "", base...)
+	par := runJSON(t, "", append(append([]simrun.Option{}, base...), simrun.HostParallel(4))...)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("mix fallback report differs from sequential:\n%s\n--\n%s", seq, par)
+	}
+}
+
+// TestHostParallelParsecRunsSequentially: multi-threaded profiles
+// synchronize from the start; the facade must route them straight to the
+// sequential driver and still produce the canonical result.
+func TestHostParallelParsecRunsSequentially(t *testing.T) {
+	base := []simrun.Option{
+		simrun.Model("interval"),
+		simrun.Cores(4),
+		simrun.WorkScale(0.02),
+	}
+	seq := runJSON(t, "blackscholes", base...)
+	par := runJSON(t, "blackscholes", append(append([]simrun.Option{}, base...), simrun.HostParallel(4))...)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parsec hostpar report differs from sequential:\n%s\n--\n%s", seq, par)
+	}
+}
+
+// TestHostParallelFingerprintInvariant: hostpar and quantum are
+// host-execution knobs — two spellings of the same simulation must share
+// one fingerprint so the result cache serves both from one entry.
+func TestHostParallelFingerprintInvariant(t *testing.T) {
+	a, err := simrun.New("gcc", simrun.Copies(4), simrun.Insts(5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simrun.New("gcc", simrun.Copies(4), simrun.Insts(5_000),
+		simrun.HostParallel(8), simrun.EpochQuantum(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatalf("fingerprint changed with hostpar: %s vs %s", fa, fb)
+	}
+}
+
+// TestHostParallelSpec: the wire format round-trips the hostpar knobs and
+// the knob catalog advertises them.
+func TestHostParallelSpec(t *testing.T) {
+	sp := simrun.Spec{Bench: "gcc", Copies: 2, Insts: 2_000, HostPar: 2, Quantum: 512}
+	s, err := sp.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := simrun.Knobs()["hostpar"]; !ok {
+		t.Fatal("Knobs() does not advertise hostpar")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/branch"
 	"repro/internal/memhier"
 	"repro/internal/multicore"
+	"repro/internal/parsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -92,9 +93,50 @@ func (s *Scenario) Run(ctx context.Context) (Result, error) {
 			})
 		},
 	}
+	if s.useHostParallel() {
+		pres, ok := parsim.Run(cfg, parsim.Config{Quantum: s.quantum}, streams)
+		if ok {
+			res := Result{Scenario: s, Result: pres}
+			if res.Interrupted {
+				return res, ctx.Err()
+			}
+			return res, nil
+		}
+		// The workload's threads share lines or synchronize: the
+		// parallel run aborted before committing anything the caller
+		// can see. Rerun sequentially from fresh streams (generators
+		// are stateful), which reproduces the canonical result.
+		streams, warm = s.buildStreams()
+		cfg.Warmup = warm
+	}
 	res := Result{Scenario: s, Result: multicore.Run(cfg, streams)}
 	if res.Interrupted {
 		return res, ctx.Err()
 	}
 	return res, nil
+}
+
+// useHostParallel reports whether the scenario should attempt the
+// host-parallel engine: HostParallel was requested, there is more than
+// one simulated core, the streams can be rebuilt for a fallback (not
+// explicit Streams), the core model is one of the built-ins (the
+// engine's per-core schedule is proven equivalent to the sequential
+// driver's for those; registered custom models get no such guarantee, so
+// they run sequentially), and the workload is not one that is certain to
+// abort (PARSEC-style multi-threaded profiles synchronize from the
+// start). Heterogeneous Mix scenarios are attempted — their shared
+// address space usually aborts the attempt early and falls back.
+func (s *Scenario) useHostParallel() bool {
+	if s.hostpar <= 0 || s.Threads() <= 1 || s.streams != nil {
+		return false
+	}
+	switch s.model {
+	case "interval", "detailed", "oneipc":
+	default:
+		return false
+	}
+	if s.profile != nil && s.profile.MultiThreaded() {
+		return false
+	}
+	return true
 }
