@@ -87,16 +87,24 @@ type MicroResult struct {
 // the same interval-model multiprogram run on the sequential driver and
 // on the host-parallel engine (internal/parsim). The outputs are
 // bit-identical by construction (the tool verifies the cycle counts);
-// only the wall clock differs.
+// only the wall clock differs. As with every hostpar number, the
+// measured speedup only means parallel scaling when num_cpu in the
+// report header exceeds 1 — on a single-CPU runner it measures gate
+// overhead.
 type HostParResult struct {
-	Cores   int     `json:"cores"`  // simulated cores
-	Stream  string  `json:"stream"` // "replay" or "generated"
-	HostPar int     `json:"hostpar"`
-	Insts   uint64  `json:"insts"`
-	Cycles  int64   `json:"cycles"`
-	SeqMIPS float64 `json:"seq_mips"`
-	ParMIPS float64 `json:"par_mips"`
-	Speedup float64 `json:"speedup"`
+	Cores int `json:"cores"` // simulated cores
+	// Workload distinguishes the homogeneous copies rows ("" — one SPEC
+	// profile per core under per-thread offsets) from the heterogeneous
+	// "mix" row (one profile per core in its own v2 address-space slot,
+	// the simrun.Mix shape that ran sequentially before stream format v2).
+	Workload string  `json:"workload,omitempty"`
+	Stream   string  `json:"stream"` // "replay" or "generated"
+	HostPar  int     `json:"hostpar"`
+	Insts    uint64  `json:"insts"`
+	Cycles   int64   `json:"cycles"`
+	SeqMIPS  float64 `json:"seq_mips"`
+	ParMIPS  float64 `json:"par_mips"`
+	Speedup  float64 `json:"speedup"`
 }
 
 // Report is the BENCH_*.json schema.
@@ -200,13 +208,15 @@ func main() {
 
 	// Multi-program (Fig9-style 4-core) and multi-threaded (Fig10-style
 	// PARSEC) interval runs, replayed.
+	// One slot per copy — the stream-format-v2 shape simrun.Mix runs
+	// (v1's shared address space no longer exists in the product).
 	mix := []string{"gcc", "mcf", "swim", "vpr"}
 	mtr := make([][]isa.Inst, 4)
 	mwtr := make([][]isa.Inst, 4)
 	for i, name := range mix {
 		p := workload.SPECByName(name)
-		mtr[i] = trace.Record(workload.New(p, 0, 1, int64(42+i)), *insts/4)
-		mwtr[i] = trace.Record(workload.New(p, 0, 1, int64(1042+i)), *warmup)
+		mtr[i] = trace.Record(workload.NewSlot(p, 0, 1, int64(42+i), i), *insts/4)
+		mwtr[i] = trace.Record(workload.NewSlot(p, 0, 1, int64(1042+i), i), *warmup)
 	}
 	mres := runBest(*reps, multicore.Interval, 4, *warmup,
 		func() []trace.Stream { return sliceStreams(mtr) },
@@ -238,6 +248,9 @@ func main() {
 				}
 			}
 		}
+		// Heterogeneous Mix row: one profile per core in its own
+		// address-space slot — parallelizable since stream format v2.
+		rep.HostPar = append(rep.HostPar, hostparMixPoint(4, *insts, *reps, *hostpar))
 	}
 
 	// Hot-path micro-benchmarks.
@@ -287,14 +300,20 @@ func defaultTolerance() float64 {
 // address spaces, the multiprogram configuration the engine accelerates).
 var hostparMix = []string{"gcc", "mcf", "swim", "vpr", "twolf", "parser", "art", "mesa"}
 
-// hostparPoint measures one (cores, stream-mode) cell of the sequential
-// vs host-parallel table: best-of-reps MIPS on each engine, with the
-// cycle counts cross-checked for bit-identity.
-func hostparPoint(cores int, mode string, insts, reps, hostpar int) HostParResult {
+// hostparPer is the per-core instruction budget of a hostpar cell.
+func hostparPer(cores, insts int) int {
 	per := insts / cores
 	if per < 10_000 {
 		per = 10_000
 	}
+	return per
+}
+
+// hostparPoint measures one (cores, stream-mode) cell of the sequential
+// vs host-parallel table: the homogeneous-copies shape (one SPEC profile
+// per core under per-thread offsets).
+func hostparPoint(cores int, mode string, insts, reps, hostpar int) HostParResult {
+	per := hostparPer(cores, insts)
 	var traces [][]isa.Inst
 	if mode == "replay" {
 		traces = make([][]isa.Inst, cores)
@@ -314,10 +333,38 @@ func hostparPoint(cores int, mode string, insts, reps, hostpar int) HostParResul
 		}
 		return out
 	}
-	cfg := func() multicore.RunConfig {
-		return multicore.RunConfig{Machine: config.Default(cores), Model: multicore.Interval}
-	}
+	return hostparMeasure(HostParResult{Cores: cores, Stream: mode, HostPar: hostpar}, reps, streams)
+}
 
+// hostparMixPoint measures the heterogeneous Mix cell of the hostpar
+// table: core i runs a different SPEC profile at address-space slot i
+// with a per-core seed — the exact stream shape simrun.Mix generates,
+// which shared one address space (and therefore ran sequentially) before
+// stream format v2. Generated streams only: the row exists to show the
+// formerly-sequential configuration now runs on the parallel engine.
+func hostparMixPoint(cores, insts, reps, hostpar int) HostParResult {
+	per := hostparPer(cores, insts)
+	streams := func() []trace.Stream {
+		out := make([]trace.Stream, cores)
+		for i := range out {
+			p := workload.SPECByName(hostparMix[i%len(hostparMix)])
+			out[i] = trace.NewLimit(workload.NewSlot(p, 0, 1, int64(42+i), i), per)
+		}
+		return out
+	}
+	return hostparMeasure(HostParResult{Cores: cores, Workload: "mix", Stream: "generated", HostPar: hostpar}, reps, streams)
+}
+
+// hostparMeasure fills one hostpar table row: the same interval-model
+// run on the sequential driver and the parallel engine, best of reps on
+// each, with the cycle and retired counts cross-checked for
+// bit-identity (any divergence is a determinism break and fails the
+// tool). row carries the cell's identity fields; streams must rebuild
+// fresh streams per call (generators are stateful).
+func hostparMeasure(row HostParResult, reps int, streams func() []trace.Stream) HostParResult {
+	cfg := func() multicore.RunConfig {
+		return multicore.RunConfig{Machine: config.Default(row.Cores), Model: multicore.Interval}
+	}
 	var seq, par multicore.Result
 	for r := 0; r < reps; r++ {
 		if res := multicore.Run(cfg(), streams()); res.MIPS() > seq.MIPS() {
@@ -325,7 +372,7 @@ func hostparPoint(cores int, mode string, insts, reps, hostpar int) HostParResul
 		}
 		res, ok := parsim.Run(cfg(), parsim.Config{}, streams())
 		if !ok {
-			fmt.Fprintln(os.Stderr, "bench: hostpar run aborted on a multiprogram workload")
+			fmt.Fprintf(os.Stderr, "bench: hostpar %s run aborted — disjoint multiprogram streams must not share lines\n", row.label())
 			os.Exit(1)
 		}
 		if res.MIPS() > par.MIPS() {
@@ -333,19 +380,27 @@ func hostparPoint(cores int, mode string, insts, reps, hostpar int) HostParResul
 		}
 	}
 	if seq.Cycles != par.Cycles || seq.TotalRetired != par.TotalRetired {
-		fmt.Fprintf(os.Stderr, "bench: hostpar determinism violation: seq %d cycles / %d insts, par %d cycles / %d insts\n",
-			seq.Cycles, seq.TotalRetired, par.Cycles, par.TotalRetired)
+		fmt.Fprintf(os.Stderr, "bench: hostpar %s determinism violation: seq %d cycles / %d insts, par %d cycles / %d insts\n",
+			row.label(), seq.Cycles, seq.TotalRetired, par.Cycles, par.TotalRetired)
 		os.Exit(1)
 	}
-	speedup := 0.0
+	row.Insts = seq.TotalRetired
+	row.Cycles = seq.Cycles
+	row.SeqMIPS = seq.MIPS()
+	row.ParMIPS = par.MIPS()
 	if seq.MIPS() > 0 {
-		speedup = par.MIPS() / seq.MIPS()
+		row.Speedup = par.MIPS() / seq.MIPS()
 	}
-	return HostParResult{
-		Cores: cores, Stream: mode, HostPar: hostpar,
-		Insts: seq.TotalRetired, Cycles: seq.Cycles,
-		SeqMIPS: seq.MIPS(), ParMIPS: par.MIPS(), Speedup: speedup,
+	return row
+}
+
+// label names a hostpar cell in diagnostics.
+func (r HostParResult) label() string {
+	w := r.Workload
+	if w == "" {
+		w = "copies"
 	}
+	return fmt.Sprintf("%d-core %s %s", r.Cores, w, r.Stream)
 }
 
 // runBest runs the configuration reps times and returns the run with the

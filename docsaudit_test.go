@@ -1,0 +1,63 @@
+// Documentation audit: every internal package must carry a package-level
+// doc comment (the docs/ tree points into them, and `go doc` is the
+// canonical reference for each layer). The test fails naming the
+// undocumented packages, so a new package cannot land without its
+// one-paragraph contract.
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackagesDocumented parses the package clause of every
+// internal/* package and fails when one has no package doc comment on
+// any of its files.
+func TestInternalPackagesDocumented(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no internal packages found (test must run from the repo root)")
+	}
+	var missing []string
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented := false
+		sawSource := false
+		fset := token.NewFileSet()
+		for _, file := range files {
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			sawSource = true
+			f, err := parser.ParseFile(fset, file, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if sawSource && !documented {
+			missing = append(missing, dir)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("internal packages without a package-level doc comment:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

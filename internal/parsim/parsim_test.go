@@ -125,6 +125,44 @@ func TestParallelMatchesSequentialEightCores(t *testing.T) {
 	}
 }
 
+// heteroStreams builds the stream-format-v2 shape of a heterogeneous Mix
+// run: each core runs a different single-threaded program (thread 0 of
+// 1, per-core seed) instantiated at its own address-space slot, exactly
+// what simrun.Mix generates.
+func heteroStreams(n, insts int) []trace.Stream {
+	streams := make([]trace.Stream, n)
+	for i := 0; i < n; i++ {
+		p := workload.SPECByName(mix[i%len(mix)])
+		streams[i] = trace.NewLimit(workload.NewSlot(p, 0, 1, int64(42+i), i), insts)
+	}
+	return streams
+}
+
+// TestParallelHeterogeneousMixSlots: with disjoint slots, a heterogeneous
+// Mix no longer aliases cache lines across copies, so the parallel engine
+// must run it to completion (no sharing abort) and match the sequential
+// driver byte for byte.
+func TestParallelHeterogeneousMixSlots(t *testing.T) {
+	const insts = 5_000
+	cfg := multicore.RunConfig{Machine: config.Default(4), Model: multicore.Interval, KeepCores: true}
+	want := seqJSON(t, cfg, heteroStreams(4, insts))
+	var stats parsim.Stats
+	res, ok := parsim.Run(cfg, parsim.Config{Stats: &stats}, heteroStreams(4, insts))
+	if !ok {
+		t.Fatalf("parallel heterogeneous mix aborted: %+v", stats)
+	}
+	got, err := report.JSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("heterogeneous mix parallel report differs from sequential:\n%s\n--\n%s", want, got)
+	}
+	if coh := res.Mem.Coherence().Stats(); coh.Invalidations != 0 {
+		t.Fatalf("slot-disjoint mix produced %d cross-copy invalidations, want 0", coh.Invalidations)
+	}
+}
+
 // TestParallelRepeatable: two parallel runs of the same scenario must be
 // byte-identical to each other (scheduling independence), including the
 // gate statistics path being exercised.

@@ -162,6 +162,10 @@ func TestSubmitValidation(t *testing.T) {
 		"unknown knob":  `{"bench":"gcc","fabric":"torus"}`,
 		"typo field":    `{"bench":"gcc","predcitor":"tage"}`,
 		"not json":      `hello`,
+		// A spec pinned to the pre-break stream format: its expected
+		// results no longer exist in this build, so it must be rejected,
+		// not silently renumbered.
+		"stale version": `{"bench":"gcc","version":1}`,
 	} {
 		if _, status := postJob(t, ts, spec); status != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", name, status)

@@ -12,9 +12,20 @@ import (
 )
 
 // fingerprintVersion invalidates every stored fingerprint when the
-// simulated semantics of a scenario change (new knob, changed default):
-// bump it and old cache entries simply stop matching.
-const fingerprintVersion = 1
+// simulated semantics of a scenario change (new knob, changed default,
+// stream-format break): bump it and old cache entries simply stop
+// matching, so a result computed under the old semantics is never served
+// for a new submission. The bump policy is documented in
+// docs/formats.md.
+//
+// v2: workload stream format v2 — Mix copies run in disjoint
+// address-space slots, changing every Mix scenario's simulated outcome.
+const fingerprintVersion = 2
+
+// FingerprintVersion is the current scenario-fingerprint generation,
+// exported so front ends can report which generation their caches are
+// keyed under.
+const FingerprintVersion = fingerprintVersion
 
 // fingerprintBody is the canonical serialization the fingerprint hashes.
 // It captures everything that determines the simulated outcome — the
@@ -46,6 +57,14 @@ type fingerprintBody struct {
 // defaulted vs explicit seed). Scenarios built from explicit Streams are
 // stateful and have no fingerprint.
 func (s *Scenario) Fingerprint() (string, error) {
+	return s.fingerprintAt(fingerprintVersion)
+}
+
+// fingerprintAt hashes the scenario under an explicit fingerprint
+// version. Only the current version is ever served; the seam exists so
+// tests can compute what a stale (v1) cache key would have been and
+// prove it never collides with the current one.
+func (s *Scenario) fingerprintAt(version int) (string, error) {
 	if s.streams != nil {
 		return "", fmt.Errorf("simrun: scenario %q uses explicit streams and cannot be fingerprinted", s.Name())
 	}
@@ -54,7 +73,7 @@ func (s *Scenario) Fingerprint() (string, error) {
 		return "", err
 	}
 	body := fingerprintBody{
-		Version:   fingerprintVersion,
+		Version:   version,
 		Model:     s.model,
 		Bench:     s.bench,
 		Mix:       s.mix,

@@ -3,6 +3,7 @@ package simrun_test
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/report"
@@ -46,19 +47,51 @@ func TestHostParallelThroughFacade(t *testing.T) {
 	}
 }
 
-// TestHostParallelMixFallsBack: Mix workloads share one address space, so
-// the parallel attempt aborts and the fallback must still deliver the
-// canonical sequential result.
-func TestHostParallelMixFallsBack(t *testing.T) {
+// TestHostParallelMix: stream format v2 gives every Mix copy a disjoint
+// address-space slot, so heterogeneous mixes run on the parallel engine
+// (no fallback) with reports byte-identical to the sequential driver at
+// every GOMAXPROCS level.
+func TestHostParallelMix(t *testing.T) {
 	base := []simrun.Option{
 		simrun.Model("interval"),
 		simrun.Mix("gcc", "mcf", "swim", "vpr"),
 		simrun.Insts(4_000),
 	}
 	seq := runJSON(t, "", base...)
-	par := runJSON(t, "", append(append([]simrun.Option{}, base...), simrun.HostParallel(4))...)
-	if !bytes.Equal(seq, par) {
-		t.Fatalf("mix fallback report differs from sequential:\n%s\n--\n%s", seq, par)
+	levels := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		levels = append(levels, n)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	for _, procs := range levels {
+		runtime.GOMAXPROCS(procs)
+		par := runJSON(t, "", append(append([]simrun.Option{}, base...), simrun.HostParallel(4))...)
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("GOMAXPROCS=%d: mix hostpar report differs from sequential:\n%s\n--\n%s", procs, seq, par)
+		}
+	}
+}
+
+// TestMixSlotsNoCrossCopyCoherence: with per-copy slots the copies of a
+// mix never write each other's lines, so the run must see zero coherence
+// invalidations — the phantom traffic the v1 shared address space used
+// to charge.
+func TestMixSlotsNoCrossCopyCoherence(t *testing.T) {
+	s, err := simrun.New("",
+		simrun.Mix("gcc", "mcf", "swim", "vpr"),
+		simrun.Insts(8_000),
+		simrun.KeepCores(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coh := res.Mem.Coherence().Stats(); coh.Invalidations != 0 {
+		t.Fatalf("slot-disjoint mix produced %d cross-copy invalidations, want 0", coh.Invalidations)
 	}
 }
 

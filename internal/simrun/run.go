@@ -29,11 +29,17 @@ func (s *Scenario) buildStreams() (streams, warm []trace.Stream) {
 		return s.streams, s.warmStream
 	case len(s.mixped) > 0:
 		// Heterogeneous mix: each core runs its own single-threaded
-		// program instance with a per-core seed.
+		// program instance with a per-core seed, instantiated at its
+		// core's address-space slot (stream format v2). Copies of
+		// different programs therefore never alias cache lines, so the
+		// mix models true multi-programming — no phantom coherence
+		// traffic — and the host-parallel engine can run it. The warmup
+		// twin must live in the same slot as its measured stream or it
+		// would warm the wrong lines.
 		for i := 0; i < n; i++ {
 			p := s.mixped[i%len(s.mixped)]
-			streams = append(streams, trace.NewLimit(workload.New(p, 0, 1, s.seed+int64(i)), s.insts))
-			warm = append(warm, workload.New(p, 0, 1, s.seed+warmSeedOffset+int64(i)))
+			streams = append(streams, trace.NewLimit(workload.NewSlot(p, 0, 1, s.seed+int64(i), i), s.insts))
+			warm = append(warm, workload.NewSlot(p, 0, 1, s.seed+warmSeedOffset+int64(i), i))
 		}
 		return streams, warm
 	case s.profile.MultiThreaded():
@@ -124,8 +130,9 @@ func (s *Scenario) Run(ctx context.Context) (Result, error) {
 // driver's for those; registered custom models get no such guarantee, so
 // they run sequentially), and the workload is not one that is certain to
 // abort (PARSEC-style multi-threaded profiles synchronize from the
-// start). Heterogeneous Mix scenarios are attempted — their shared
-// address space usually aborts the attempt early and falls back.
+// start). Multiprogram scenarios — homogeneous Copies and, since stream
+// format v2 gave each copy a disjoint address-space slot, heterogeneous
+// Mix — run parallel to completion.
 func (s *Scenario) useHostParallel() bool {
 	if s.hostpar <= 0 || s.Threads() <= 1 || s.streams != nil {
 		return false

@@ -128,6 +128,11 @@ func (s *Scenario) resolveWorkload() error {
 			}
 			s.mixped = append(s.mixped, p)
 		}
+		// Each mix copy needs its own address-space slot; beyond
+		// MaxSlots the slots would silently alias.
+		if n := s.Threads(); n > workload.MaxSlots {
+			return fmt.Errorf("simrun: mix runs one address-space slot per core and supports at most %d cores, got %d", workload.MaxSlots, n)
+		}
 		return nil
 	case s.bench == "":
 		return fmt.Errorf("simrun: no benchmark name and no explicit streams")
@@ -265,9 +270,11 @@ func Copies(n int) Option {
 }
 
 // Mix runs a heterogeneous multi-program workload: core i runs SPEC
-// profile names[i%len(names)] with a per-core seed (seed+i), the way the
-// fabric and NoC studies construct bandwidth-hungry mixes. Combine with
-// Cores to set the machine size (default: one core per name).
+// profile names[i%len(names)] with a per-core seed (seed+i) in its own
+// address-space slot (workload.NewSlot, stream format v2, so copies
+// never alias cache lines), the way the fabric and NoC studies construct
+// bandwidth-hungry mixes. Combine with Cores to set the machine size
+// (default: one core per name).
 func Mix(names ...string) Option {
 	return func(s *Scenario) error {
 		if len(names) == 0 {
@@ -409,13 +416,14 @@ func Predictor(kind string) Option {
 // it does not enter the scenario fingerprint and cached results are
 // shared across settings.
 //
-// The engine accelerates multiprogram scenarios (SPEC profiles under
-// Cores/Copies), whose per-core address spaces are disjoint. Scenarios
-// whose threads share lines or synchronize (PARSEC profiles, Mix
-// workloads, which share one address space) detect the interaction and
-// fall back to the sequential driver automatically; explicit-Streams
-// scenarios always run sequentially (their stateful streams cannot be
-// rebuilt for the fallback).
+// The engine accelerates multiprogram scenarios — SPEC profiles under
+// Cores/Copies and heterogeneous Mix workloads — whose per-core address
+// spaces are disjoint (Mix copies since stream format v2, which gives
+// each copy its own slot). Scenarios whose threads genuinely share lines
+// or synchronize (PARSEC profiles) detect the interaction and fall back
+// to the sequential driver automatically; explicit-Streams scenarios
+// always run sequentially (their stateful streams cannot be rebuilt for
+// the fallback).
 func HostParallel(n int) Option {
 	return func(s *Scenario) error {
 		if n < 0 {

@@ -21,6 +21,13 @@ import (
 // Code-only options (Streams, Configure, custom registered factories'
 // side data) have no spec form — they exist for embedding Go programs.
 type Spec struct {
+	// Version pins the stream-format generation the spec was written
+	// for. 0 (omitted) means the current generation (SpecVersion); any
+	// other value is rejected by Scenario, so clients that recorded
+	// expected results under an old stream format fail loudly instead
+	// of silently comparing against renumbered simulations.
+	Version int `json:"version,omitempty"`
+
 	Bench  string   `json:"bench,omitempty"`
 	Label  string   `json:"label,omitempty"`
 	Model  string   `json:"model,omitempty"`
@@ -132,8 +139,21 @@ func (sp Spec) Options() []Option {
 	return opts
 }
 
-// Scenario builds and validates the scenario the spec describes.
+// SpecVersion is the wire format's current stream-format generation,
+// advanced in lockstep with workload.StreamVersion on every deliberate
+// stream break (v2: Mix copies in disjoint address-space slots — all Mix
+// results renumbered). Specs carrying any other non-zero Version are
+// rejected.
+const SpecVersion = 2
+
+// Scenario builds and validates the scenario the spec describes. A spec
+// pinned to a stale stream-format generation is rejected here, which is
+// the shared choke point of both wire front ends (simd submissions and
+// cmd/sweep -f batch files).
 func (sp Spec) Scenario() (*Scenario, error) {
+	if sp.Version != 0 && sp.Version != SpecVersion {
+		return nil, fmt.Errorf("simrun: spec is pinned to stream format v%d, this build speaks v%d: the formats are deliberately incompatible (v2 gave each Mix copy a disjoint address-space slot, renumbering all Mix results) — update the spec's version after reviewing its expected results", sp.Version, SpecVersion)
+	}
 	return New(sp.Bench, sp.Options()...)
 }
 
@@ -161,6 +181,9 @@ type SpecFile struct {
 // merge returns sp with unset fields filled in from def.
 func (sp Spec) merge(def Spec) Spec {
 	out := sp
+	if out.Version == 0 {
+		out.Version = def.Version
+	}
 	if out.Bench == "" {
 		out.Bench = def.Bench
 	}

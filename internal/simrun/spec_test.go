@@ -3,6 +3,8 @@ package simrun
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/workload"
 )
 
 func TestSpecScenarioMatchesOptions(t *testing.T) {
@@ -119,6 +121,49 @@ func TestLoadSpecsBaseDefaults(t *testing.T) {
 	}
 	if got != want {
 		t.Fatalf("base defaults not applied: fingerprint %s, want %s", got, want)
+	}
+}
+
+// Specs pinned to a stale stream-format generation must fail loudly in
+// every wire front end (simd submissions and sweep -f both build through
+// Spec.Scenario), while the current version and the omitted-version
+// shorthand keep working.
+func TestSpecVersionGate(t *testing.T) {
+	for _, v := range []int{0, SpecVersion} {
+		if _, err := (Spec{Version: v, Bench: "gcc"}).Scenario(); err != nil {
+			t.Errorf("version %d rejected: %v", v, err)
+		}
+	}
+	for _, v := range []int{1, SpecVersion + 1} {
+		_, err := (Spec{Version: v, Bench: "gcc"}).Scenario()
+		if err == nil {
+			t.Fatalf("stale spec version %d accepted", v)
+		}
+		if !strings.Contains(err.Error(), "stream format") {
+			t.Errorf("version error does not explain the format break: %v", err)
+		}
+	}
+}
+
+// Mix assigns one address-space slot per core, so a mix wider than the
+// slot space must be rejected at build time, not wrap at run time.
+func TestMixRejectsMoreCoresThanSlots(t *testing.T) {
+	_, err := New("", Mix("gcc", "mcf"), Cores(workload.MaxSlots+1))
+	if err == nil || !strings.Contains(err.Error(), "slot") {
+		t.Fatalf("oversized mix not rejected: %v", err)
+	}
+	if _, err := New("", Mix("gcc", "mcf"), Cores(workload.MaxSlots)); err != nil {
+		t.Fatalf("mix at the slot limit rejected: %v", err)
+	}
+}
+
+// A stale version in a spec file's defaults poisons every scenario in
+// the batch, and the error names the entry.
+func TestLoadSpecsStaleVersionRejected(t *testing.T) {
+	_, err := LoadSpecs(strings.NewReader(
+		`{"defaults":{"version":1},"scenarios":[{"bench":"gcc"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "stream format") {
+		t.Fatalf("stale defaults version not rejected loudly: %v", err)
 	}
 }
 

@@ -1,0 +1,90 @@
+package simrun
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mixScenario is the scenario class the v2 stream-format break
+// renumbered; the versioning guarantees are asserted against it.
+func mixScenario(t *testing.T) *Scenario {
+	t.Helper()
+	s, err := New("", Mix("gcc", "mcf"), Insts(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFingerprintVersionNeverCollides: the v1 fingerprint of a scenario
+// must never equal its v2 fingerprint — the whole point of the version
+// field is that results computed under the old stream format can never
+// be served for a new submission, whatever else the scenario spells.
+func TestFingerprintVersionNeverCollides(t *testing.T) {
+	if FingerprintVersion != 2 {
+		t.Fatalf("FingerprintVersion = %d, want 2 (update this test alongside the next deliberate break)", FingerprintVersion)
+	}
+	for _, build := range []func(t *testing.T) *Scenario{
+		mixScenario,
+		func(t *testing.T) *Scenario {
+			s, err := New("gcc", Copies(2), Insts(500))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	} {
+		s := build(t)
+		v1, err := s.fingerprintAt(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := s.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1 == v2 {
+			t.Fatalf("scenario %q: v1 and v2 fingerprints collide: %s", s.Name(), v1)
+		}
+	}
+}
+
+// TestCacheMissesAcrossVersionBump: a result cache primed with an entry
+// under the scenario's v1 key (what a pre-break simd deployment would
+// have persisted) must not serve it for a v2 submission — the submission
+// simulates fresh and is stored under the v2 key.
+func TestCacheMissesAcrossVersionBump(t *testing.T) {
+	dir := t.TempDir()
+	s := mixScenario(t)
+	v1, err := s.fingerprintAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := []byte(`{"stale":"v1 payload"}`)
+	if err := os.WriteFile(filepath.Join(dir, v1+".json"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCache(CacheOpts{
+		Dir:    dir,
+		Encode: func(Result) ([]byte, error) { return []byte(`{"fresh":"v2 payload"}`), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := c.GetOrRun(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Source != SourceRun {
+		t.Fatalf("v2 submission served from %q, want a fresh run (v1 entries must never match)", entry.Source)
+	}
+	if entry.Key == v1 {
+		t.Fatal("v2 submission stored under the v1 key")
+	}
+	if string(entry.Payload) == string(stale) {
+		t.Fatal("v2 submission returned the stale v1 payload")
+	}
+}

@@ -13,21 +13,45 @@ import (
 // instruction records. Recording a generated stream lets an experiment be
 // replayed exactly (e.g. feeding the identical committed stream to an
 // external tool, or rerunning a timing study without regenerating), which
-// is the natural workflow for a functional-first simulator.
+// is the natural workflow for a functional-first simulator. The full
+// layout is documented in docs/formats.md.
+//
+// File version 2 extends the header with the provenance a replayed stream
+// cannot reconstruct from its records: the workload stream-format
+// generation that produced it (so traces recorded before a deliberate
+// stream break are rejected loudly instead of silently timing stale
+// streams) and the address-space slot the stream was instantiated at.
 
 const (
 	traceMagic   = uint32(0x49564c53) // "SLVI"
-	traceVersion = uint32(1)
+	traceVersion = uint32(2)
+	headerBytes  = 4 + 4 + 4 + 4                         // magic, file version, Header fields
 	recordBytes  = 8 + 8 + 1 + 1 + 1 + 1 + 8 + 1 + 8 + 2 // fields below
 )
 
+// Header is the recorded stream's provenance, carried in the trace file
+// after the magic and file version.
+type Header struct {
+	// StreamVersion is the workload stream-format generation
+	// (workload.StreamVersion) the recorded stream was generated under.
+	// Recorders must set it; replays read it back so front ends can
+	// refuse to mix stream generations.
+	StreamVersion uint32
+	// Slot is the address-space slot the stream was instantiated at
+	// (workload.NewSlot); 0 for single-program streams.
+	Slot uint32
+}
+
 // WriteTrace drains src to w in binary format, writing at most n
-// instructions. It returns the number written.
-func WriteTrace(w io.Writer, src Stream, n int) (int, error) {
+// instructions under the given provenance header. It returns the number
+// written.
+func WriteTrace(w io.Writer, src Stream, n int, h Header) (int, error) {
 	bw := bufio.NewWriter(w)
-	var hdr [8]byte
+	var hdr [headerBytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], h.StreamVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], h.Slot)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return 0, fmt.Errorf("trace: writing header: %w", err)
 	}
@@ -82,13 +106,18 @@ func decode(rec *[recordBytes]byte) isa.Inst {
 // Reader replays a binary trace from an io.Reader. It implements Stream.
 type Reader struct {
 	br  *bufio.Reader
+	hdr Header
 	err error
 }
 
 // NewReader validates the trace header and returns a replaying Stream.
+// Traces written under an older file version are rejected with an error
+// saying to re-record them: a version bump marks a deliberate
+// stream-format break, after which old traces time streams that no
+// current configuration can reproduce.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
-	var hdr [8]byte
+	var hdr [headerBytes]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
@@ -96,10 +125,19 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+		return nil, fmt.Errorf("trace: unsupported trace file version %d (this build reads v%d; the version changes only on a deliberate stream-format break — re-record the trace with cmd/tracegen)", v, traceVersion)
 	}
-	return &Reader{br: br}, nil
+	return &Reader{
+		br: br,
+		hdr: Header{
+			StreamVersion: binary.LittleEndian.Uint32(hdr[8:]),
+			Slot:          binary.LittleEndian.Uint32(hdr[12:]),
+		},
+	}, nil
 }
+
+// Header returns the provenance header recorded with the trace.
+func (r *Reader) Header() Header { return r.hdr }
 
 // Next implements Stream.
 func (r *Reader) Next() (isa.Inst, bool) {

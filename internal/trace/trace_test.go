@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -101,13 +103,16 @@ func TestTraceRoundTrip(t *testing.T) {
 		{Seq: 3, PC: 0x40000C, Class: isa.LockAcquire, SyncID: 7},
 	}
 	var buf bytes.Buffer
-	n, err := WriteTrace(&buf, NewSliceStream(src), 10)
+	n, err := WriteTrace(&buf, NewSliceStream(src), 10, Header{StreamVersion: 2, Slot: 3})
 	if err != nil || n != 4 {
 		t.Fatalf("WriteTrace = (%d,%v)", n, err)
 	}
 	r, err := NewReader(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if h := r.Header(); h.StreamVersion != 2 || h.Slot != 3 {
+		t.Fatalf("header did not round-trip: %+v", h)
 	}
 	for i, want := range src {
 		got, ok := r.Next()
@@ -132,9 +137,25 @@ func TestTraceBadHeader(t *testing.T) {
 	}
 }
 
+// A v1-era trace (old 8-byte header, no provenance fields) must be
+// rejected with an error that tells the user to re-record: the file
+// version only moves on a deliberate stream-format break.
+func TestTraceStaleVersionRejected(t *testing.T) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 0x49564c53)
+	binary.LittleEndian.PutUint32(hdr[4:], 1)
+	_, err := NewReader(bytes.NewReader(hdr[:]))
+	if err == nil {
+		t.Fatal("v1 trace accepted")
+	}
+	if !strings.Contains(err.Error(), "re-record") {
+		t.Fatalf("stale-version error does not say how to recover: %v", err)
+	}
+}
+
 func TestTraceLimitsWrites(t *testing.T) {
 	var buf bytes.Buffer
-	n, err := WriteTrace(&buf, NewSliceStream(insts(100)), 7)
+	n, err := WriteTrace(&buf, NewSliceStream(insts(100)), 7, Header{})
 	if err != nil || n != 7 {
 		t.Fatalf("WriteTrace = (%d,%v), want 7", n, err)
 	}
@@ -149,7 +170,7 @@ func TestQuickTraceRoundTrip(t *testing.T) {
 			Target: target, SyncID: id,
 		}
 		var buf bytes.Buffer
-		if n, err := WriteTrace(&buf, NewSliceStream([]isa.Inst{in}), 1); n != 1 || err != nil {
+		if n, err := WriteTrace(&buf, NewSliceStream([]isa.Inst{in}), 1, Header{}); n != 1 || err != nil {
 			return false
 		}
 		r, err := NewReader(&buf)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 
@@ -186,9 +187,33 @@ type regionState struct {
 	cursor uint64
 }
 
+// StreamVersion is the stream-format generation this package produces.
+// It changes only on a deliberate break of the bit-identical-stream
+// guarantee (v2: multi-program copies are instantiated at disjoint
+// address-space slots, see NewSlot). Consumers that persist streams or
+// stream-derived results (the trace file header, the simrun scenario
+// fingerprint) record it so artifacts of one generation are never mixed
+// with another's; the break/bump procedure is documented in
+// docs/formats.md.
+const StreamVersion = 2
+
+// SlotStride is the address-space distance between two slots: slot k's
+// code and data live exactly k*SlotStride above slot 0's. It is a power
+// of two far above every cache's and TLB's index bits (so per-copy hit
+// behaviour is slot-invariant) and far above the per-thread private-
+// region offsets (threads scale to 1<<12 within a slot before two slots
+// could touch), giving MaxSlots fully disjoint slots in the 64-bit space.
+const SlotStride uint64 = 1 << 56
+
+// MaxSlots is the number of disjoint address-space slots (2^64 /
+// SlotStride). NewSlot rejects slots beyond it: slot k and slot
+// k-MaxSlots would silently alias, breaking the no-cross-copy-sharing
+// guarantee the slots exist for.
+const MaxSlots = 256
+
 // Generator interprets a profile's synthetic program and produces the
 // dynamic instruction stream of one thread. It implements trace.Stream and
-// is fully deterministic given (profile, thread, threads, seed).
+// is fully deterministic given (profile, thread, threads, seed, slot).
 type Generator struct {
 	p         *Profile
 	rng       *fastRand
@@ -197,6 +222,7 @@ type Generator struct {
 	kernel    *program
 	thread    int
 	threads   int
+	slotBase  uint64 // slot * SlotStride, added to every code/data base
 
 	// Cumulative non-branch mix thresholds, precomputed so bodyInst does
 	// one draw and a threshold walk instead of re-summing the mix per
@@ -251,8 +277,25 @@ type Generator struct {
 
 // New creates the stream generator for one thread of a profile. threads is
 // the total thread count of the run (1 for single-threaded benchmarks);
-// seed selects the deterministic instance.
+// seed selects the deterministic instance. The stream lives in slot 0 of
+// the address space; multi-program workloads that need disjoint copies
+// use NewSlot.
 func New(p *Profile, thread, threads int, seed int64) *Generator {
+	return NewSlot(p, thread, threads, seed, 0)
+}
+
+// NewSlot is New with the stream instantiated at an address-space slot:
+// every code and data base is offset by slot*SlotStride, and nothing
+// else changes — the slot never enters a random draw, so the slot-k
+// stream is bit-identical to the slot-0 stream with the constant offset
+// added to PC, Target and Addr. Heterogeneous multi-program (Mix)
+// workloads give each copy its own slot, so copies of different programs
+// never alias cache lines in the shared hierarchy (no phantom coherence
+// traffic) and the host-parallel engine can run them concurrently.
+func NewSlot(p *Profile, thread, threads int, seed int64, slot int) *Generator {
+	if slot < 0 || slot >= MaxSlots {
+		panic(fmt.Sprintf("workload: slot %d out of range [0,%d) — slots beyond the range would alias address spaces", slot, MaxSlots))
+	}
 	// The static program (CFG, branch sites, code layout) must be
 	// identical across threads AND across seeds: it is the benchmark's
 	// binary. Only the dynamic randomness (addresses, branch draws)
@@ -260,6 +303,7 @@ func New(p *Profile, thread, threads int, seed int64) *Generator {
 	// trains the same predictor sites and touches the same regions
 	// without replaying the exact future line sequence.
 	progRng := newFastRand(staticSeed(p.Name))
+	slotBase := uint64(slot) * SlotStride
 	blockLen := p.BlockLenMean
 	if blockLen <= 0 {
 		if p.Mix.Branch > 0 {
@@ -269,13 +313,14 @@ func New(p *Profile, thread, threads int, seed int64) *Generator {
 		}
 	}
 	g := &Generator{
-		p:       p,
-		rng:     newFastRand(seed ^ int64(thread)*0x5E3779B97F4A7C15),
-		user:    buildProgram(p, progRng, 0x400000, p.Funcs, p.BlocksPerFunc, blockLen),
-		thread:  thread,
-		threads: threads,
-		nextDst: 8,
-		budget:  ^uint64(0),
+		p:        p,
+		rng:      newFastRand(seed ^ int64(thread)*0x5E3779B97F4A7C15),
+		user:     buildProgram(p, progRng, slotBase+0x400000, p.Funcs, p.BlocksPerFunc, blockLen),
+		thread:   thread,
+		threads:  threads,
+		slotBase: slotBase,
+		nextDst:  8,
+		budget:   ^uint64(0),
 	}
 	if p.DepDistMean > 1 {
 		g.invLogDep = 1 / math.Log(1-1/p.DepDistMean)
@@ -295,7 +340,7 @@ func New(p *Profile, thread, threads int, seed int64) *Generator {
 	g.lastLoad = isa.RegNone
 	if p.SystemFrac > 0 {
 		// Kernel code: one big function with many blocks, distant base.
-		g.kernel = buildProgram(p, progRng, 0x80000000, 2, 192, blockLen)
+		g.kernel = buildProgram(p, progRng, slotBase+0x80000000, 2, 192, blockLen)
 	}
 	g.initRegions()
 	g.initSync()
@@ -306,7 +351,7 @@ func New(p *Profile, thread, threads int, seed int64) *Generator {
 func (g *Generator) initRegions() {
 	var cum float64
 	for i, r := range g.p.Regions {
-		base := uint64(0x10000000000) + uint64(i)<<34
+		base := g.slotBase + uint64(0x10000000000) + uint64(i)<<34
 		if !r.Shared {
 			// Private regions are disjoint per thread.
 			base += uint64(g.thread+1) << 44
@@ -688,7 +733,7 @@ func (g *Generator) storeInst(pc uint64) isa.Inst {
 // whether the chosen region is a streaming region.
 func (g *Generator) pickAddr(chase bool) (addr uint64, strided bool) {
 	if len(g.regions) == 0 {
-		return 0x10000000000, false
+		return g.slotBase + 0x10000000000, false
 	}
 	idx := 0
 	if !chase {
