@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,12 +50,16 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
+	// Registers the estimator engines the tier-accuracy section compares
+	// against the full interval run.
+	_ "repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/memhier"
 	"repro/internal/multicore"
 	"repro/internal/oneipc"
 	"repro/internal/parsim"
 	"repro/internal/sim"
+	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -107,17 +112,34 @@ type HostParResult struct {
 	Speedup  float64 `json:"speedup"`
 }
 
-// Report is the BENCH_*.json schema.
+// TierResult is one row of the fidelity-tier accuracy smoke check: the
+// statistical engine's CPI against the full interval run of the same
+// scenario. The statistical tier is a culling estimate, not a
+// measurement, so the band is loose — the check exists to catch the
+// estimator silently degenerating (several-fold errors), not to certify
+// literature-grade accuracy.
+type TierResult struct {
+	Bench          string  `json:"bench"`
+	IntervalCPI    float64 `json:"interval_cpi"`
+	StatisticalCPI float64 `json:"statistical_cpi"`
+	RelErr         float64 `json:"rel_err"`
+}
+
+// Report is the BENCH_*.json schema. NumCPU qualifies every hostpar
+// number in the report: on a single-CPU host the parallel engine cannot
+// beat sequential, and Warnings says so explicitly.
 type Report struct {
-	Schema  string          `json:"schema"`
-	Go      string          `json:"go"`
-	NumCPU  int             `json:"num_cpu"`
-	Date    string          `json:"date"`
-	Params  Params          `json:"params"`
-	Models  []ModelResult   `json:"models"`
-	HostPar []HostParResult `json:"hostpar,omitempty"`
-	Micro   []MicroResult   `json:"micro"`
-	Summary Summary         `json:"summary"`
+	Schema   string          `json:"schema"`
+	Go       string          `json:"go"`
+	NumCPU   int             `json:"num_cpu"`
+	Date     string          `json:"date"`
+	Warnings []string        `json:"warnings,omitempty"`
+	Params   Params          `json:"params"`
+	Models   []ModelResult   `json:"models"`
+	HostPar  []HostParResult `json:"hostpar,omitempty"`
+	Tiers    []TierResult    `json:"tiers,omitempty"`
+	Micro    []MicroResult   `json:"micro"`
+	Summary  Summary         `json:"summary"`
 }
 
 // Params are the run sizes.
@@ -144,6 +166,10 @@ type Summary struct {
 	// engine cannot beat sequential without host cores to run on);
 	// num_cpu above says what the number means.
 	HostParSpeedup8 float64 `json:"hostpar_speedup_8core"`
+	// TierMaxRelErr is the worst statistical-vs-interval CPI relative
+	// error across the tier-accuracy rows; the tool fails when it
+	// exceeds -tier-tolerance.
+	TierMaxRelErr float64 `json:"tier_max_rel_err,omitempty"`
 }
 
 func main() {
@@ -156,6 +182,7 @@ func main() {
 		reps     = flag.Int("reps", 5, "repetitions per measurement (best is reported)")
 		quick    = flag.Bool("quick", false, "small sizes for a smoke run")
 		hostpar  = flag.Int("hostpar", 4, "host-parallel engine setting for the sequential-vs-parallel section (0 skips the section)")
+		tierTol  = flag.Float64("tier-tolerance", 0.6, "allowed statistical-vs-interval CPI relative error in the tier-accuracy check (0 skips the section)")
 	)
 	flag.Parse()
 	if *quick {
@@ -168,6 +195,14 @@ func main() {
 		NumCPU: runtime.NumCPU(),
 		Date:   time.Now().UTC().Format(time.RFC3339),
 		Params: Params{Insts: *insts, Warmup: *warmup, Reps: *reps},
+	}
+	// The host CPU count qualifies every hostpar number below, so say it
+	// up front — and loudly when there is nothing to scale onto.
+	fmt.Fprintf(os.Stderr, "bench: num_cpu=%d (go %s)\n", rep.NumCPU, rep.Go)
+	if rep.NumCPU == 1 && *hostpar > 0 {
+		w := "hostpar sections on a single-CPU host: speedups measure gate overhead, not parallel scaling"
+		rep.Warnings = append(rep.Warnings, w)
+		fmt.Fprintln(os.Stderr, "bench: WARNING", w)
 	}
 
 	// Single-core SPEC set: interval in both stream modes; detailed and
@@ -251,6 +286,21 @@ func main() {
 		// Heterogeneous Mix row: one profile per core in its own
 		// address-space slot — parallelizable since stream format v2.
 		rep.HostPar = append(rep.HostPar, hostparMixPoint(4, *insts, *reps, *hostpar))
+	}
+
+	// Fidelity-tier accuracy smoke check: the statistical engine's CPI
+	// against the full interval run on a few single-program scenarios.
+	if *tierTol > 0 {
+		rep.Tiers, rep.Summary.TierMaxRelErr = tierAccuracy(*insts, *warmup)
+		for _, tr := range rep.Tiers {
+			fmt.Fprintf(os.Stderr, "bench: tier %-6s interval CPI %.3f, statistical CPI %.3f (err %.0f%%)\n",
+				tr.Bench, tr.IntervalCPI, tr.StatisticalCPI, 100*tr.RelErr)
+		}
+		if rep.Summary.TierMaxRelErr > *tierTol {
+			fmt.Fprintf(os.Stderr, "bench: FAIL statistical tier CPI error %.0f%% exceeds the %.0f%% band\n",
+				100*rep.Summary.TierMaxRelErr, 100**tierTol)
+			os.Exit(1)
+		}
 	}
 
 	// Hot-path micro-benchmarks.
@@ -537,6 +587,52 @@ func microBenchmarks() ([]MicroResult, int64) {
 	}))
 
 	return out, allocs
+}
+
+// tierAccuracy runs the tier-accuracy rows: each benchmark at full
+// interval fidelity and through the statistical engine (the cheapest
+// tier the simd service answers from), comparing CPI. Returns the rows
+// and the worst relative error.
+func tierAccuracy(insts, warmup int) ([]TierResult, float64) {
+	die := func(name string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: tier check %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	var rows []TierResult
+	var worst float64
+	for _, name := range []string{"gcc", "mcf", "swim"} {
+		full, err := simrun.New(name, simrun.Insts(insts), simrun.Warmup(warmup), simrun.Seed(42))
+		die(name, err)
+		est, err := full.ForEngine("statistical")
+		die(name, err)
+		fres, err := full.Run(context.Background())
+		die(name, err)
+		eres, err := est.Run(context.Background())
+		die(name, err)
+		row := TierResult{
+			Bench:          name,
+			IntervalCPI:    cpi(fres.Result),
+			StatisticalCPI: cpi(eres.Result),
+		}
+		if row.IntervalCPI > 0 {
+			row.RelErr = math.Abs(row.StatisticalCPI-row.IntervalCPI) / row.IntervalCPI
+		}
+		if row.RelErr > worst {
+			worst = row.RelErr
+		}
+		rows = append(rows, row)
+	}
+	return rows, worst
+}
+
+// cpi is cycles per retired instruction.
+func cpi(r multicore.Result) float64 {
+	if r.TotalRetired == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.TotalRetired)
 }
 
 func geomean(xs []float64) float64 {

@@ -10,6 +10,12 @@
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -N  localhost:8080/v1/jobs/<id>/events
 //
+// With -tiered, fresh queries are answered in well under a second from
+// the statistical engine (a synthetic clone of the profiled workload)
+// while the full interval run proceeds in the background; the job
+// document, SSE stream and cache entry are upgraded in place when it
+// lands, and every answer reports the tier that produced it.
+//
 // SIGINT/SIGTERM stops accepting work, drains queued and in-flight jobs
 // (up to -drain-timeout) and exits 0.
 package main
@@ -25,6 +31,10 @@ import (
 	"syscall"
 	"time"
 
+	// Register the estimator engines ("statistical", "simpoint") so
+	// tiered serving has cheap tiers to answer from and specs may pin
+	// them explicitly.
+	_ "repro/internal/engine"
 	"repro/internal/simd"
 	"repro/internal/simrun"
 )
@@ -36,20 +46,22 @@ func main() {
 		depth   = flag.Int("queue-depth", 64, "bounded job-queue depth")
 		dir     = flag.String("cache-dir", "", "persist result payloads under this directory (empty = memory only)")
 		entries = flag.Int("cache-entries", 256, "in-memory result-cache capacity")
+		tiered  = flag.Bool("tiered", false, "answer from the cheapest fidelity tier immediately and upgrade in the background")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and in-flight jobs")
 	)
 	flag.Parse()
 
 	cache, err := simrun.NewCache(simrun.CacheOpts{
-		Entries: *entries,
-		Dir:     *dir,
-		Encode:  simd.Encode,
+		Entries:    *entries,
+		Dir:        *dir,
+		Encode:     simd.Encode,
+		DecodeTier: simd.DecodeTier,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	server, err := simd.New(simd.Config{Workers: *jobs, QueueDepth: *depth, Cache: cache})
+	server, err := simd.New(simd.Config{Workers: *jobs, QueueDepth: *depth, Cache: cache, TieredServing: *tiered})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

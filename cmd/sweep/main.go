@@ -21,6 +21,12 @@
 // simrun.SpecFile of shared defaults plus one spec per scenario — the
 // same wire format the simd service accepts, so a service query is
 // copy-pasteable into a batch file and vice versa.
+//
+// -adaptive turns any sweep (built-in or -f) into a two-phase run: the
+// statistical engine estimates every point first, the estimates rank the
+// space, and only the -top fraction (plus any point the cheap tier cannot
+// run) is re-simulated at full fidelity. The table reports both numbers
+// and the tier that produced each final answer.
 package main
 
 import (
@@ -30,10 +36,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
 	"repro/internal/config"
+	// Register the estimator engines for -adaptive and for spec files
+	// that pin "engine".
+	_ "repro/internal/engine"
 	"repro/internal/prof"
 	"repro/internal/simrun"
 )
@@ -54,6 +64,8 @@ func main() {
 		detailed = flag.Bool("detailed", false, "cross-check each point with the detailed model (slow)")
 		jobs     = flag.Int("j", 1, "host worker goroutines (0 = all host cores)")
 		hostpar  = flag.Int("hostpar", 0, "host-parallel engine per scenario: one goroutine per simulated core (0 = sequential; results are bit-identical)")
+		adaptive = flag.Bool("adaptive", false, "estimate every point with the statistical engine first, then spend full fidelity on the top fraction")
+		top      = flag.Float64("top", 0.25, "with -adaptive, the fraction of the space promoted to full fidelity")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (written on normal exit)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on normal exit")
@@ -80,7 +92,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	s := &sweeper{ctx: ctx, insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs, hostpar: *hostpar}
+	if *top <= 0 || *top > 1 {
+		fmt.Fprintf(os.Stderr, "sweep: -top %v out of range (0, 1]\n", *top)
+		exitWith(2)
+	}
+	s := &sweeper{ctx: ctx, insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs, hostpar: *hostpar, adaptive: *adaptive, top: *top}
 	if *file != "" {
 		s.sweepFile(*file)
 		return
@@ -108,6 +124,8 @@ type sweeper struct {
 	detailed    bool
 	jobs        int
 	hostpar     int
+	adaptive    bool
+	top         float64
 }
 
 // scenario builds one sweep scenario, treating a bad benchmark name (or
@@ -150,6 +168,94 @@ func (s *sweeper) run(scs []*simrun.Scenario) []simrun.BatchResult {
 	return results
 }
 
+// adaptiveRun is the two-phase budgeted sweep: phase one estimates every
+// scenario with the cheap statistical engine; the estimates rank the
+// space (highest estimated IPC first — the promising region detailed
+// simulation should focus on); phase two re-runs the top -top fraction at
+// full fidelity. Scenarios the statistical engine cannot run
+// (multi-threaded or multi-program points) skip phase one and are always
+// promoted. One row per scenario reports both numbers and the tier of the
+// final answer.
+func (s *sweeper) adaptiveRun(scs []*simrun.Scenario) {
+	type row struct {
+		sc       *simrun.Scenario
+		estIPC   float64
+		hasEst   bool
+		promoted bool
+		fullIPC  float64
+		tier     string
+	}
+	rows := make([]*row, len(scs))
+	var estScs []*simrun.Scenario
+	var estRows []*row
+	for i, sc := range scs {
+		rows[i] = &row{sc: sc}
+		est, err := sc.ForEngine("statistical")
+		if err != nil {
+			rows[i].promoted = true
+			continue
+		}
+		rows[i].hasEst = true
+		estScs = append(estScs, est)
+		estRows = append(estRows, rows[i])
+	}
+
+	budget := int(float64(len(estScs))*s.top + 0.5)
+	if budget < 1 && len(estScs) > 0 {
+		budget = 1
+	}
+	fmt.Printf("== adaptive: %d scenarios, %d statistical estimates, full fidelity on top %d + %d unsupported ==\n",
+		len(scs), len(estScs), budget, len(scs)-len(estScs))
+
+	for i, br := range s.run(estScs) {
+		res := br.Result
+		if res.Cycles > 0 {
+			estRows[i].estIPC = float64(res.TotalRetired) / float64(res.Cycles)
+		}
+		estRows[i].tier = string(br.Result.Tier)
+	}
+	ranked := append([]*row(nil), estRows...)
+	sort.SliceStable(ranked, func(a, b int) bool { return ranked[a].estIPC > ranked[b].estIPC })
+	for i := 0; i < budget && i < len(ranked); i++ {
+		ranked[i].promoted = true
+	}
+
+	var fullScs []*simrun.Scenario
+	var fullRows []*row
+	for _, r := range rows {
+		if r.promoted {
+			fullScs = append(fullScs, r.sc)
+			fullRows = append(fullRows, r)
+		}
+	}
+	for i, br := range s.run(fullScs) {
+		res := br.Result
+		if res.Cycles > 0 {
+			fullRows[i].fullIPC = float64(res.TotalRetired) / float64(res.Cycles)
+		}
+		fullRows[i].tier = string(br.Result.Tier)
+	}
+
+	// Ranked estimates first, then the points that never had one.
+	order := ranked
+	for _, r := range rows {
+		if !r.hasEst {
+			order = append(order, r)
+		}
+	}
+	fmt.Printf("%4s %-34s %10s %10s %12s\n", "rank", "scenario", "est IPC", "full IPC", "tier")
+	for i, r := range order {
+		est, full := "-", "-"
+		if r.hasEst {
+			est = fmt.Sprintf("%.3f", r.estIPC)
+		}
+		if r.promoted {
+			full = fmt.Sprintf("%.3f", r.fullIPC)
+		}
+		fmt.Printf("%4d %-34s %10s %10s %12s\n", i+1, r.sc.Name(), est, full, r.tier)
+	}
+}
+
 // sweepFile runs the declarative batch in the named simrun.SpecFile and
 // prints one row per scenario.
 func (s *sweeper) sweepFile(path string) {
@@ -169,6 +275,11 @@ func (s *sweeper) sweepFile(path string) {
 		exitWith(2)
 	}
 
+	if s.adaptive {
+		fmt.Printf("== scenario batch: %s ==\n", path)
+		s.adaptiveRun(scs)
+		return
+	}
 	fmt.Printf("== scenario batch: %s (%d scenarios) ==\n", path, len(scs))
 	fmt.Printf("%-28s %-10s %6s %12s %10s\n", "scenario", "model", "cores", "cycles", "IPC")
 	for _, r := range s.run(scs) {
@@ -183,8 +294,28 @@ func (s *sweeper) sweepFile(path string) {
 }
 
 // grid runs one scenario per (row, profile) cell — plus a detailed-model
-// twin per cell when cross-checking — and prints the IPC table.
+// twin per cell when cross-checking — and prints the IPC table. Under
+// -adaptive the grid is flattened into one labeled scenario per cell and
+// handed to the two-phase estimate-then-promote runner instead.
 func (s *sweeper) grid(labels []string, names []string, tweaks []func(*config.Machine)) {
+	if s.adaptive {
+		var scs []*simrun.Scenario
+		for ti, tweak := range tweaks {
+			for _, name := range names {
+				scs = append(scs, scenario(name,
+					simrun.Model("interval"),
+					simrun.Insts(s.insts),
+					simrun.Warmup(s.warm),
+					simrun.Seed(s.seed),
+					simrun.HostParallel(s.hostpar),
+					simrun.Configure(tweak),
+					simrun.Label(name+" "+labels[ti]),
+				))
+			}
+		}
+		s.adaptiveRun(scs)
+		return
+	}
 	var scs []*simrun.Scenario
 	for _, tweak := range tweaks {
 		for _, name := range names {
@@ -259,7 +390,6 @@ func (s *sweeper) sweepL2(names []string) {
 
 func (s *sweeper) sweepFabric(names []string) {
 	fmt.Println("== interconnect: multi-program cycles by fabric and core count (interval model) ==")
-	fmt.Printf("%-22s %12s %14s %12s\n", "configuration", "cycles", "fabric-stall", "utilization")
 	var scs []*simrun.Scenario
 	var labels []string
 	for _, cores := range []int{4, 8, 16} {
@@ -278,6 +408,14 @@ func (s *sweeper) sweepFabric(names []string) {
 			))
 		}
 	}
+	if s.adaptive {
+		// Multi-program mixes are outside the statistical engine's reach,
+		// so every point is promoted to full fidelity; the adaptive table
+		// still reports the tier that answered.
+		s.adaptiveRun(scs)
+		return
+	}
+	fmt.Printf("%-22s %12s %14s %12s\n", "configuration", "cycles", "fabric-stall", "utilization")
 	for i, r := range s.run(scs) {
 		res := r.Result
 		fab := res.Mem.Fabric()

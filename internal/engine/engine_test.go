@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/simrun"
+)
+
+func mustScenario(t *testing.T, name, eng string, opts ...simrun.Option) *simrun.Scenario {
+	t.Helper()
+	sc, err := simrun.New(name, append(opts, simrun.Engine(eng))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestStatisticalDeterministic: the estimator is a pure function of the
+// scenario — same scenario, same answer, run to run.
+func TestStatisticalDeterministic(t *testing.T) {
+	sc := mustScenario(t, "gcc", "statistical", simrun.Insts(30_000), simrun.Warmup(10_000), simrun.Seed(42))
+	a, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.TotalRetired != b.TotalRetired {
+		t.Fatalf("statistical runs diverge: %d/%d cycles, %d/%d retired",
+			a.Cycles, b.Cycles, a.TotalRetired, b.TotalRetired)
+	}
+}
+
+// TestStatisticalExtrapolates: the answer covers the scenario's whole
+// budget even though only a bounded clone was simulated, and it is
+// tagged with the statistical tier.
+func TestStatisticalExtrapolates(t *testing.T) {
+	const budget = 2_000_000
+	sc := mustScenario(t, "gcc", "statistical", simrun.Insts(budget), simrun.Warmup(100_000), simrun.Seed(42))
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRetired != budget {
+		t.Errorf("retired %d, want the full %d budget", res.TotalRetired, budget)
+	}
+	if res.Cycles <= 0 {
+		t.Errorf("cycles %d", res.Cycles)
+	}
+	if res.Engine != "statistical" || res.Tier != simrun.TierStatistical {
+		t.Errorf("tagged %q/%q", res.Engine, res.Tier)
+	}
+	if len(res.Cores) != 1 || res.Cores[0].IPC <= 0 {
+		t.Errorf("per-core synthesis wrong: %+v", res.Cores)
+	}
+}
+
+func TestSimPointTagsSampledTier(t *testing.T) {
+	sc := mustScenario(t, "gcc", "simpoint", simrun.Insts(40_000), simrun.Warmup(10_000), simrun.Seed(42))
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "simpoint" || res.Tier != simrun.TierSampled {
+		t.Errorf("tagged %q/%q", res.Engine, res.Tier)
+	}
+	if res.TotalRetired != 40_000 || res.Cycles <= 0 {
+		t.Errorf("retired %d cycles %d", res.TotalRetired, res.Cycles)
+	}
+}
+
+// TestEstimatorsRejectMultiProgram: both estimators are single-program;
+// the rejection happens at scenario build time with the reason.
+func TestEstimatorsRejectMultiProgram(t *testing.T) {
+	for _, eng := range []string{"statistical", "simpoint"} {
+		_, err := simrun.New("", simrun.Mix("gcc", "mcf"), simrun.Engine(eng))
+		if err == nil {
+			t.Errorf("%s accepted a multi-program mix", eng)
+			continue
+		}
+		if !strings.Contains(err.Error(), eng) {
+			t.Errorf("%s rejection does not name the engine: %v", eng, err)
+		}
+	}
+}
+
+// TestCheapestEngineSelection: with the estimators registered, a
+// single-program scenario's cheapest engine is the statistical one, and
+// a multi-program scenario falls back to full.
+func TestCheapestEngineSelection(t *testing.T) {
+	single, err := simrun.New("gcc", simrun.Insts(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := simrun.CheapestEngineFor(single).Name; got != "statistical" {
+		t.Errorf("cheapest for single-program = %q", got)
+	}
+	mix, err := simrun.New("", simrun.Mix("gcc", "mcf"), simrun.Insts(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := simrun.CheapestEngineFor(mix).Name; got != simrun.DefaultEngine {
+		t.Errorf("cheapest for mix = %q", got)
+	}
+}

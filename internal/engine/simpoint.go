@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/multicore"
+	"repro/internal/sampling"
+	"repro/internal/simrun"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+const (
+	// simpointMaxRecord caps how much of the real stream is recorded and
+	// phase-classified; scenarios beyond it are extrapolated from this
+	// prefix, which is what bounds the tier's cost.
+	simpointMaxRecord = 1_000_000
+	// simpointK is the maximum number of phases (clusters).
+	simpointK = 8
+	// simpointMinInterval / simpointMaxInterval clamp the interval
+	// length the recording is sliced into.
+	simpointMinInterval = 2_000
+	simpointMaxInterval = 100_000
+)
+
+func simpointEngine() simrun.EngineDef {
+	return simrun.EngineDef{
+		Name: "simpoint",
+		Tier: func(*simrun.Scenario) simrun.Tier { return simrun.TierSampled },
+		Cost: simpointCost,
+		Supports: func(s *simrun.Scenario) error {
+			if err := singleProgram(s); err != nil {
+				return err
+			}
+			switch s.ModelName() {
+			case "interval", "detailed":
+				return nil
+			}
+			return errors.New("interval and detailed core models only (representative intervals are timed on a bare single core)")
+		},
+		Run: simpointRun,
+	}
+}
+
+// simpointCost: the recording is replayed once for classification and up
+// to K more times for per-representative functional warming.
+func simpointCost(s *simrun.Scenario) float64 {
+	rec := min(s.WarmupBudget()+s.InstBudget(), simpointMaxRecord)
+	return float64(rec) * (1 + simpointK/2)
+}
+
+// simpointRun is SimPoint phase sampling end to end: record a bounded
+// prefix of the real stream, cluster its intervals by code signature,
+// time one representative per phase (functionally warmed from the
+// stream start) and combine the per-phase CPIs by cluster weight.
+func simpointRun(ctx context.Context, s *simrun.Scenario) (simrun.Result, error) {
+	start := time.Now()
+	budget := s.InstBudget()
+	rec := min(s.WarmupBudget()+budget, simpointMaxRecord)
+	insts := trace.Record(workload.New(s.Profile(), 0, 1, s.SeedValue()), rec)
+	if len(insts) == 0 {
+		return simrun.Result{}, fmt.Errorf("engine: simpoint: empty stream for %q", s.Name())
+	}
+
+	il := len(insts) / 16
+	if il > simpointMaxInterval {
+		il = simpointMaxInterval
+	}
+	if il < simpointMinInterval {
+		il = simpointMinInterval
+	}
+	if il > len(insts) {
+		il = len(insts)
+	}
+	sp, err := sampling.Analyze(insts, sampling.SimPointConfig{
+		IntervalLen: il,
+		K:           simpointK,
+		Seed:        s.SeedValue(),
+	})
+	if err != nil {
+		return simrun.Result{}, fmt.Errorf("engine: simpoint: %w", err)
+	}
+
+	machine, err := s.ResolvedMachine()
+	if err != nil {
+		return simrun.Result{}, err
+	}
+	model := multicore.Interval
+	if s.ModelName() == "detailed" {
+		model = multicore.Detailed
+	}
+	ipc, err := sampling.EstimateIPC(insts, sp, machine, model)
+	if err != nil {
+		return simrun.Result{}, fmt.Errorf("engine: simpoint: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return simrun.Result{Result: multicore.Result{Interrupted: true}}, err
+	}
+
+	cycles := int64(float64(budget)/ipc + 0.5)
+	return simrun.Result{Result: multicore.Result{
+		Model:        model,
+		ModelName:    s.ModelName(),
+		Cycles:       cycles,
+		Cores:        []multicore.CoreResult{{Retired: uint64(budget), Finish: cycles, IPC: ipc}},
+		TotalRetired: uint64(budget),
+		Wall:         time.Since(start),
+	}}, nil
+}

@@ -15,7 +15,13 @@ import (
 // runs of the same scenario — or a run and its cache hit — encode to
 // byte-identical JSON.
 type Summary struct {
-	Model        string        `json:"model"`
+	Model string `json:"model"`
+	// Engine and Tier identify which engine answered and at what
+	// fidelity (simrun's tier lattice). Both are absent on full-engine
+	// results: an untagged payload is always a definitive answer, so
+	// payloads written before tiers existed read back correctly.
+	Engine       string        `json:"engine,omitempty"`
+	Tier         string        `json:"tier,omitempty"`
 	Cycles       int64         `json:"cycles"`
 	Instructions uint64        `json:"instructions"`
 	TimedOut     bool          `json:"timed_out,omitempty"`
@@ -137,4 +143,28 @@ func Summarize(res multicore.Result) Summary {
 // and deterministic content (see Summary).
 func JSON(res multicore.Result) ([]byte, error) {
 	return json.Marshal(Summarize(res))
+}
+
+// JSONTiered is JSON with the answering engine and fidelity tier tagged
+// into the summary. Estimator-tier answers are encoded this way; full
+// answers keep the untagged JSON form, so a payload's (absent) tier tag
+// is also its upgrade-eligibility marker.
+func JSONTiered(res multicore.Result, engine, tier string) ([]byte, error) {
+	s := Summarize(res)
+	s.Engine, s.Tier = engine, tier
+	return json.Marshal(s)
+}
+
+// PayloadTier recovers the tier tag of an encoded summary: the tagged
+// tier for estimator payloads, "" for untagged (definitive) ones. It is
+// the simrun cache's DecodeTier hook, so a restarted service never
+// serves a persisted estimate to a full-fidelity request.
+func PayloadTier(payload []byte) string {
+	var s struct {
+		Tier string `json:"tier"`
+	}
+	if json.Unmarshal(payload, &s) != nil {
+		return ""
+	}
+	return s.Tier
 }

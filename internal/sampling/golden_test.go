@@ -1,0 +1,30 @@
+package sampling
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// simpointGolden is the FNV-64a hash of a fixed SimPoint selection
+// (gcc/swim phased stream, 20 intervals of 1000, K=3, seed 5). Pinning
+// the exact assignments, weights and representatives — not just
+// run-to-run equality — catches silent changes to the clustering: any
+// deliberate edit to the algorithm must update this constant.
+const simpointGolden uint64 = 0xa3849d19d01cfcec
+
+func TestSimPointGolden(t *testing.T) {
+	insts := phasedStream("gcc", "swim", 1000, 20)
+	sp, err := Analyze(insts, SimPointConfig{IntervalLen: 1000, K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "a=%v|r=%v|", sp.Assignments, sp.Representatives)
+	for _, w := range sp.Weights {
+		fmt.Fprintf(h, "w=%.12f|", w)
+	}
+	if got := h.Sum64(); got != simpointGolden {
+		t.Errorf("simpoint selection hash %#x, golden %#x — if the clustering changed deliberately, update simpointGolden", got, simpointGolden)
+	}
+}

@@ -14,9 +14,22 @@ import (
 
 // Encode is the service's canonical result encoding: the deterministic
 // report.JSON summary. It is the cache's payload encoder, so cached and
-// fresh results are byte-identical.
+// fresh results are byte-identical. Estimator-tier results carry their
+// engine and tier in the payload; full-engine results stay untagged, so
+// their payloads are byte-identical to a direct simrun.Run + report.JSON
+// and an untagged payload always reads back as definitive.
 func Encode(res simrun.Result) ([]byte, error) {
+	if res.Engine != "" && res.Engine != simrun.DefaultEngine {
+		return report.JSONTiered(res.Result, res.Engine, string(res.Tier))
+	}
 	return report.JSON(res.Result)
+}
+
+// DecodeTier recovers the fidelity tier of a persisted payload — the
+// simrun cache's DecodeTier hook. Untagged payloads (full-engine results
+// and payloads written before tiers existed) are definitive.
+func DecodeTier(payload []byte) simrun.Tier {
+	return simrun.Tier(report.PayloadTier(payload))
 }
 
 // Handler returns the service's HTTP API.
@@ -144,8 +157,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // Catalog describes everything a client can ask the service to simulate.
+// Engines lists the registered answering engines (Spec.Engine values) and
+// Tiers the fidelity lattice their answers are tagged with, cheapest
+// first.
 type Catalog struct {
 	Models     []string            `json:"models"`
+	Engines    []string            `json:"engines"`
+	Tiers      []string            `json:"tiers"`
 	Knobs      map[string][]string `json:"knobs"`
 	Benchmarks CatalogBenchmarks   `json:"benchmarks"`
 }
@@ -158,8 +176,12 @@ type CatalogBenchmarks struct {
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	cat := Catalog{
-		Models: simrun.Models(),
-		Knobs:  simrun.Knobs(),
+		Models:  simrun.Models(),
+		Engines: simrun.Engines(),
+		Knobs:   simrun.Knobs(),
+	}
+	for _, t := range simrun.Tiers() {
+		cat.Tiers = append(cat.Tiers, string(t))
 	}
 	for _, p := range workload.SPEC() {
 		cat.Benchmarks.SPEC = append(cat.Benchmarks.SPEC, p.Name)
@@ -201,6 +223,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"simd_cache_hits_total", "In-memory result-cache hits.", cs.Hits},
 		{"simd_cache_disk_hits_total", "Persistent-store hits.", cs.DiskHits},
 		{"simd_cache_flight_waits_total", "Callers that piggybacked on an in-flight run.", cs.Waits},
+		{"simd_cache_upgrades_total", "Cache entries upgraded in place to a higher tier.", cs.Upgrades},
+		{"simd_tier_fast_answers_total", "Jobs answered below full fidelity.", s.fast.Load()},
+		{"simd_tier_upgrades_total", "Background full-fidelity upgrades that landed.", s.upgraded.Load()},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",

@@ -27,13 +27,17 @@ func (s Status) terminal() bool { return s == StatusDone || s == StatusFailed }
 
 // JobDoc is the job representation served by the API. Result is the
 // canonical report.JSON payload, so a done job's result is byte-identical
-// to a direct simrun.Run + report.JSON of the same scenario.
+// to a direct simrun.Run + report.JSON of the same scenario. Tier names
+// the fidelity tier that answered (simrun's lattice); under tiered
+// serving a done job's Tier and Result are upgraded in place when the
+// full-fidelity run lands — same job, same fingerprint, better answer.
 type JobDoc struct {
 	ID          string          `json:"id"`
 	Status      Status          `json:"status"`
 	Fingerprint string          `json:"fingerprint"`
 	Spec        simrun.Spec     `json:"spec"`
 	Cache       string          `json:"cache,omitempty"`
+	Tier        string          `json:"tier,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
 }
@@ -50,10 +54,16 @@ type Job struct {
 	mu      sync.Mutex
 	status  Status
 	source  simrun.CacheSource
+	tier    simrun.Tier
 	errMsg  string
 	payload []byte
 	subs    []chan JobDoc
 	done    chan struct{}
+	// upgradePending marks a job answered below full fidelity whose
+	// background upgrade is still in flight: the terminal transition
+	// keeps subscriptions open so the upgrade is delivered as one final
+	// event before they close.
+	upgradePending bool
 }
 
 func newJob(id, fingerprint string, spec simrun.Spec, sc *simrun.Scenario) *Job {
@@ -81,6 +91,7 @@ func (j *Job) docLocked() JobDoc {
 		Fingerprint: j.fingerprint,
 		Spec:        j.spec,
 		Cache:       string(j.source),
+		Tier:        string(j.tier),
 		Error:       j.errMsg,
 		Result:      j.payload,
 	}
@@ -90,8 +101,10 @@ func (j *Job) docLocked() JobDoc {
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // setStatus transitions the job and notifies subscribers. Terminal
-// transitions close the done channel and every subscription.
-func (j *Job) setStatus(status Status, source simrun.CacheSource, payload []byte, errMsg string) {
+// transitions close the done channel and every subscription — unless an
+// upgrade is pending, in which case subscriptions stay open for the one
+// further event settle delivers.
+func (j *Job) setStatus(status Status, source simrun.CacheSource, tier simrun.Tier, payload []byte, errMsg string) {
 	j.mu.Lock()
 	if j.status.terminal() {
 		j.mu.Unlock()
@@ -99,11 +112,13 @@ func (j *Job) setStatus(status Status, source simrun.CacheSource, payload []byte
 	}
 	j.status = status
 	j.source = source
+	j.tier = tier
 	j.payload = payload
 	j.errMsg = errMsg
 	doc := j.docLocked()
 	subs := j.subs
-	if status.terminal() {
+	closing := status.terminal() && !j.upgradePending
+	if closing {
 		j.subs = nil
 	}
 	j.mu.Unlock()
@@ -116,12 +131,50 @@ func (j *Job) setStatus(status Status, source simrun.CacheSource, payload []byte
 		case ch <- doc:
 		default:
 		}
-		if status.terminal() {
+		if closing {
 			close(ch)
 		}
 	}
 	if status.terminal() {
 		close(j.done)
+	}
+}
+
+// markUpgradePending flags the job for a background upgrade; call before
+// the terminal setStatus so no subscription window is lost.
+func (j *Job) markUpgradePending() {
+	j.mu.Lock()
+	j.upgradePending = true
+	j.mu.Unlock()
+}
+
+// settle completes a pending upgrade: a non-nil payload replaces the done
+// job's answer in place (same job, same fingerprint, higher tier); a nil
+// payload means the upgrade failed and the estimate stands. Either way
+// every remaining subscription receives one final document and closes.
+func (j *Job) settle(source simrun.CacheSource, tier simrun.Tier, payload []byte) {
+	j.mu.Lock()
+	if !j.upgradePending {
+		j.mu.Unlock()
+		return
+	}
+	j.upgradePending = false
+	if payload != nil && j.status == StatusDone {
+		j.source = source
+		j.tier = tier
+		j.payload = payload
+	}
+	doc := j.docLocked()
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+
+	for _, ch := range subs {
+		select {
+		case ch <- doc:
+		default:
+		}
+		close(ch)
 	}
 }
 
@@ -136,7 +189,7 @@ func (j *Job) Subscribe() <-chan JobDoc {
 	ch := make(chan JobDoc, 8)
 	j.mu.Lock()
 	ch <- j.docLocked()
-	if j.status.terminal() {
+	if j.status.terminal() && !j.upgradePending {
 		close(ch)
 	} else {
 		j.subs = append(j.subs, ch)

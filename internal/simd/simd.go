@@ -49,6 +49,16 @@ type Config struct {
 	// Cache is the shared result cache; nil builds a default in-memory
 	// cache with the report.JSON encoder.
 	Cache *simrun.Cache
+	// TieredServing answers fresh submissions from the cheapest
+	// registered engine that supports the scenario (sub-second
+	// statistical estimates for scenarios whose full run takes tens of
+	// seconds), then runs the full simulation in the background and
+	// upgrades the job document and cache entry in place when it lands.
+	// Off by default: every job then runs its spec's engine directly.
+	// Specs that pin an engine explicitly are always honored verbatim,
+	// tiered or not. Build the cache with DecodeTier so a restart never
+	// serves a persisted estimate as definitive.
+	TieredServing bool
 }
 
 // Server is the service state: job table, bounded queue, worker pool and
@@ -58,6 +68,7 @@ type Server struct {
 	queue   chan *Job
 	workers int
 	maxJobs int
+	tiered  bool
 
 	// runCtx gates in-flight simulations: Drain cancels it only when
 	// its own context expires, turning a graceful drain into a hard
@@ -78,6 +89,8 @@ type Server struct {
 	rejected  atomic.Uint64 // queue-full rejections
 	completed atomic.Uint64
 	failed    atomic.Uint64
+	fast      atomic.Uint64 // jobs answered below full fidelity
+	upgraded  atomic.Uint64 // background upgrades that landed
 }
 
 // New builds the server and starts its worker pool.
@@ -85,7 +98,7 @@ func New(cfg Config) (*Server, error) {
 	cache := cfg.Cache
 	if cache == nil {
 		var err error
-		cache, err = simrun.NewCache(simrun.CacheOpts{Encode: Encode})
+		cache, err = simrun.NewCache(simrun.CacheOpts{Encode: Encode, DecodeTier: DecodeTier})
 		if err != nil {
 			return nil, err
 		}
@@ -108,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 		queue:     make(chan *Job, depth),
 		workers:   workers,
 		maxJobs:   maxJobs,
+		tiered:    cfg.TieredServing,
 		runCtx:    ctx,
 		runCancel: cancel,
 		jobs:      map[string]*Job{},
@@ -129,8 +143,14 @@ func (s *Server) worker() {
 }
 
 // process runs one job through the cache and publishes the outcome.
+// Under tiered serving, jobs that did not pin an engine are answered from
+// the cheapest supporting tier first, with the full run upgrading the job
+// and cache entry in the background.
 func (s *Server) process(job *Job) {
-	job.setStatus(StatusRunning, "", nil, "")
+	job.setStatus(StatusRunning, "", "", nil, "")
+	if s.tiered && !job.scenario.EnginePinned() && s.processTiered(job) {
+		return
+	}
 	entry, err := s.cache.GetOrRun(s.runCtx, job.scenario)
 	if err != nil {
 		s.failed.Add(1)
@@ -139,11 +159,64 @@ func (s *Server) process(job *Job) {
 			delete(s.byFP, job.fingerprint)
 		}
 		s.mu.Unlock()
-		job.setStatus(StatusFailed, entry.Source, nil, err.Error())
+		job.setStatus(StatusFailed, entry.Source, entry.Tier, nil, err.Error())
 		return
 	}
 	s.completed.Add(1)
-	job.setStatus(StatusDone, entry.Source, entry.Payload, "")
+	job.setStatus(StatusDone, entry.Source, entry.Tier, entry.Payload, "")
+}
+
+// processTiered answers the job from the cheapest supporting engine and
+// schedules the background upgrade. It reports false when there is no
+// cheaper tier (or the estimate failed), in which case the caller falls
+// back to the ordinary full-fidelity path.
+func (s *Server) processTiered(job *Job) bool {
+	cheap := simrun.CheapestEngineFor(job.scenario)
+	if cheap.Name == simrun.DefaultEngine {
+		return false
+	}
+	est, err := job.scenario.ForEngine(cheap.Name)
+	if err != nil {
+		return false
+	}
+	entry, err := s.cache.GetOrRun(s.runCtx, est)
+	if err != nil {
+		return false
+	}
+	if entry.Tier.AtLeast(job.scenario.AnswerTier()) {
+		// The one cache slot already held a full-fidelity answer — the
+		// cheap request was satisfied at the higher tier, nothing to
+		// upgrade.
+		s.completed.Add(1)
+		job.setStatus(StatusDone, entry.Source, entry.Tier, entry.Payload, "")
+		return true
+	}
+	// Publish the estimate now; upgrade the same job (and the same
+	// cache slot — the fingerprint is tier-independent) when the full
+	// run lands. The upgrade goroutine joins the worker WaitGroup so
+	// Drain waits for in-flight upgrades, and runCtx still hard-stops
+	// them when the drain deadline expires.
+	job.markUpgradePending()
+	s.fast.Add(1)
+	s.completed.Add(1)
+	job.setStatus(StatusDone, entry.Source, entry.Tier, entry.Payload, "")
+	s.wg.Add(1)
+	go s.upgradeJob(job)
+	return true
+}
+
+// upgradeJob runs the job's scenario at full fidelity and settles the
+// pending upgrade: the cache entry was already upgraded in place by
+// GetOrRun's store, and the job document follows here.
+func (s *Server) upgradeJob(job *Job) {
+	defer s.wg.Done()
+	entry, err := s.cache.GetOrRun(s.runCtx, job.scenario)
+	if err != nil {
+		job.settle("", "", nil)
+		return
+	}
+	s.upgraded.Add(1)
+	job.settle(entry.Source, entry.Tier, entry.Payload)
 }
 
 // SubmitSpec validates and enqueues a scenario spec. The bool reports

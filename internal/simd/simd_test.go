@@ -309,8 +309,8 @@ func TestSubscribeDuringCompletion(t *testing.T) {
 		job := newJob("j-test", "fp", simrun.Spec{}, nil)
 		done := make(chan struct{})
 		go func() {
-			job.setStatus(StatusRunning, "", nil, "")
-			job.setStatus(StatusDone, "run", []byte("{}"), "")
+			job.setStatus(StatusRunning, "", "", nil, "")
+			job.setStatus(StatusDone, "run", "interval", []byte("{}"), "")
 			close(done)
 		}()
 		var last Status

@@ -35,6 +35,11 @@ type CacheEntry struct {
 	Key string
 	// Source says how the entry was obtained.
 	Source CacheSource
+	// Tier is the fidelity tier of the stored answer. The empty tier
+	// (payloads written before tiers existed, or caches without a
+	// DecodeTier hook) is definitive: it was produced by the full
+	// engine and is never replaced.
+	Tier Tier
 	// Result is the full run result. Zero when the entry was restored
 	// from the persistent store (Source SourceDisk, and later
 	// SourceMemory/SourceFlight hits of such entries): live core models
@@ -55,6 +60,7 @@ type CacheStats struct {
 	DiskHits uint64 // persistent-store hits
 	Waits    uint64 // callers that piggybacked on an in-flight run
 	Uncached uint64 // scenarios without a fingerprint, run directly
+	Upgrades uint64 // entries replaced in place by a higher tier
 }
 
 // CacheOpts configures NewCache.
@@ -68,27 +74,41 @@ type CacheOpts struct {
 	// Encode renders a result to its canonical payload (for example
 	// report.JSON). Required for Dir; optional otherwise.
 	Encode func(Result) ([]byte, error)
+	// DecodeTier recovers the fidelity tier of a persisted payload so a
+	// restart never serves an estimator-tier answer to a full-tier
+	// request. Nil treats every disk payload as definitive — correct
+	// for caches that only ever store full-engine results.
+	DecodeTier func([]byte) Tier
 }
 
 // Cache is a content-addressed result cache over scenario fingerprints:
 // an in-memory LRU of full results, an optional on-disk payload store,
 // and singleflight deduplication so N concurrent submissions of the same
 // scenario cost one simulation.
+//
+// Entries are tier-aware: one cache key per scenario, each entry tagged
+// with the fidelity tier of the answer it holds. A lookup is a hit only
+// when the stored tier satisfies the requesting engine's tier, and a
+// store only ever replaces an entry with a strictly higher tier — the
+// upgrade-only invariant that lets a serving layer answer cheap first
+// and silently improve the same slot when the full run lands.
 type Cache struct {
-	entries int
-	dir     string
-	encode  func(Result) ([]byte, error)
+	entries    int
+	dir        string
+	encode     func(Result) ([]byte, error)
+	decodeTier func([]byte) Tier
 
 	mu     sync.Mutex
 	lru    *list.List               // of *cacheSlot, front = most recent
 	byKey  map[string]*list.Element // fingerprint -> lru element
-	flight map[string]*flightCall   // fingerprint -> in-flight run
+	flight map[string]*flightCall   // fingerprint+tier -> in-flight run
 
-	runs, hits, diskHits, waits, uncached atomic.Uint64
+	runs, hits, diskHits, waits, uncached, upgrades atomic.Uint64
 }
 
 type cacheSlot struct {
 	key     string
+	tier    Tier
 	result  Result
 	payload []byte
 }
@@ -115,12 +135,13 @@ func NewCache(opts CacheOpts) (*Cache, error) {
 		entries = 256
 	}
 	return &Cache{
-		entries: entries,
-		dir:     opts.Dir,
-		encode:  opts.Encode,
-		lru:     list.New(),
-		byKey:   map[string]*list.Element{},
-		flight:  map[string]*flightCall{},
+		entries:    entries,
+		dir:        opts.Dir,
+		encode:     opts.Encode,
+		decodeTier: opts.DecodeTier,
+		lru:        list.New(),
+		byKey:      map[string]*list.Element{},
+		flight:     map[string]*flightCall{},
 	}, nil
 }
 
@@ -132,6 +153,7 @@ func (c *Cache) Stats() CacheStats {
 		DiskHits: c.diskHits.Load(),
 		Waits:    c.waits.Load(),
 		Uncached: c.uncached.Load(),
+		Upgrades: c.upgrades.Load(),
 	}
 }
 
@@ -154,19 +176,31 @@ func (c *Cache) GetOrRun(ctx context.Context, s *Scenario) (CacheEntry, error) {
 	if err != nil {
 		c.uncached.Add(1)
 		res, runErr := s.Run(ctx)
-		return CacheEntry{Source: SourceUncached, Result: res}, runErr
+		return CacheEntry{Source: SourceUncached, Tier: res.Tier, Result: res}, runErr
 	}
+	wanted := s.AnswerTier()
 
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
-		c.lru.MoveToFront(el)
+		// One key per scenario, tier-aware hits: a stored answer
+		// satisfies the request only when its tier is at least the
+		// requesting engine's — a full entry answers a statistical
+		// request (and reports its higher tier), never the reverse.
 		slot := el.Value.(*cacheSlot)
-		entry := CacheEntry{Key: key, Source: SourceMemory, Result: slot.result, Payload: slot.payload}
-		c.mu.Unlock()
-		c.hits.Add(1)
-		return entry, nil
+		if slot.tier.AtLeast(wanted) {
+			c.lru.MoveToFront(el)
+			entry := CacheEntry{Key: key, Source: SourceMemory, Tier: slot.tier, Result: slot.result, Payload: slot.payload}
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return entry, nil
+		}
 	}
-	if fl, ok := c.flight[key]; ok {
+	// Flights are keyed by (fingerprint, requested tier): a full-tier
+	// request must not piggyback on an in-flight statistical estimate,
+	// and a statistical request should answer fast rather than wait for
+	// an in-flight full run.
+	fkey := key + "#" + string(wanted)
+	if fl, ok := c.flight[fkey]; ok {
 		c.mu.Unlock()
 		c.waits.Add(1)
 		select {
@@ -186,13 +220,13 @@ func (c *Cache) GetOrRun(ctx context.Context, s *Scenario) (CacheEntry, error) {
 	// slow I/O never serializes other cache traffic, and concurrent
 	// identical requests dedup onto one disk read or run.
 	fl := &flightCall{done: make(chan struct{})}
-	c.flight[key] = fl
+	c.flight[fkey] = fl
 	c.mu.Unlock()
 
-	entry, runErr := c.fill(ctx, key, s)
+	entry, runErr := c.fill(ctx, key, wanted, s)
 	fl.entry, fl.err = entry, runErr
 	c.mu.Lock()
-	delete(c.flight, key)
+	delete(c.flight, fkey)
 	c.mu.Unlock()
 	close(fl.done)
 	return entry, runErr
@@ -201,11 +235,19 @@ func (c *Cache) GetOrRun(ctx context.Context, s *Scenario) (CacheEntry, error) {
 // fill resolves a miss as the flight leader: the persistent store first,
 // then a fresh run. Disk hits are promoted into the in-memory LRU
 // (payload only) so repeated requests after a restart stop touching disk.
-func (c *Cache) fill(ctx context.Context, key string, s *Scenario) (CacheEntry, error) {
+// A persisted payload only counts when its tier satisfies the request;
+// without a DecodeTier hook every disk payload is definitive.
+func (c *Cache) fill(ctx context.Context, key string, wanted Tier, s *Scenario) (CacheEntry, error) {
 	if payload, ok := c.loadDisk(key); ok {
-		c.diskHits.Add(1)
-		c.store(key, Result{}, payload)
-		return CacheEntry{Key: key, Source: SourceDisk, Payload: payload}, nil
+		var tier Tier
+		if c.decodeTier != nil {
+			tier = c.decodeTier(payload)
+		}
+		if tier.AtLeast(wanted) {
+			c.diskHits.Add(1)
+			c.store(key, Result{}, payload, tier)
+			return CacheEntry{Key: key, Source: SourceDisk, Tier: tier, Payload: payload}, nil
+		}
 	}
 	return c.runAndStore(ctx, key, s)
 }
@@ -215,7 +257,7 @@ func (c *Cache) fill(ctx context.Context, key string, s *Scenario) (CacheEntry, 
 func (c *Cache) runAndStore(ctx context.Context, key string, s *Scenario) (CacheEntry, error) {
 	c.runs.Add(1)
 	res, err := s.Run(ctx)
-	entry := CacheEntry{Key: key, Source: SourceRun, Result: res}
+	entry := CacheEntry{Key: key, Source: SourceRun, Tier: res.Tier, Result: res}
 	if err != nil {
 		return entry, err
 	}
@@ -226,26 +268,41 @@ func (c *Cache) runAndStore(ctx context.Context, key string, s *Scenario) (Cache
 		}
 		entry.Payload = payload
 	}
-	c.store(key, res, entry.Payload)
-	c.storeDisk(key, entry.Payload)
+	// Only a store that was accepted (insert or upgrade) reaches disk:
+	// a lower-tier result arriving after a higher one — a statistical
+	// estimate racing an already-landed full run — must not clobber the
+	// better persisted answer.
+	if c.store(key, res, entry.Payload, res.Tier) {
+		c.storeDisk(key, entry.Payload)
+	}
 	return entry, nil
 }
 
-// store inserts an entry at the front of the LRU, evicting from the back.
-func (c *Cache) store(key string, res Result, payload []byte) {
+// store inserts an entry at the front of the LRU, evicting from the
+// back. An existing entry under the same key is replaced only by a
+// strictly higher tier (the upgrade-only invariant); store reports
+// whether the entry now holds this answer.
+func (c *Cache) store(key string, res Result, payload []byte, tier Tier) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
-		return
+		slot := el.Value.(*cacheSlot)
+		if tier.Rank() <= slot.tier.Rank() {
+			return false
+		}
+		slot.tier, slot.result, slot.payload = tier, res, payload
+		c.upgrades.Add(1)
+		return true
 	}
-	el := c.lru.PushFront(&cacheSlot{key: key, result: res, payload: payload})
+	el := c.lru.PushFront(&cacheSlot{key: key, tier: tier, result: res, payload: payload})
 	c.byKey[key] = el
 	for c.lru.Len() > c.entries {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*cacheSlot).key)
 	}
+	return true
 }
 
 // diskPath is the content address on disk: one file per fingerprint.

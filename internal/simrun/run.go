@@ -16,6 +16,11 @@ import (
 type Result struct {
 	// Scenario is the scenario that produced this result.
 	Scenario *Scenario
+	// Engine names the registered engine that produced the answer and
+	// Tier classifies its fidelity (see EngineDef). The full engine
+	// answers at the model's own tier; estimator engines answer lower.
+	Engine string
+	Tier   Tier
 	multicore.Result
 }
 
@@ -62,10 +67,27 @@ func (s *Scenario) buildStreams() (streams, warm []trace.Stream) {
 	}
 }
 
-// Run executes the scenario. Cancelling ctx interrupts the simulation at
-// the next driver poll and returns ctx's error alongside the partial
-// result.
+// Run executes the scenario on its selected engine (the full-budget
+// simulation unless the Engine option chose an estimator) and stamps the
+// result with the engine name and its fidelity tier. Cancelling ctx
+// interrupts the simulation at the next driver poll and returns ctx's
+// error alongside the partial result.
 func (s *Scenario) Run(ctx context.Context) (Result, error) {
+	eng, err := LookupEngine(s.EngineName())
+	if err != nil {
+		return Result{Scenario: s}, err
+	}
+	res, err := eng.Run(ctx, s)
+	res.Scenario = s
+	res.Engine = eng.Name
+	res.Tier = eng.Tier(s)
+	return res, err
+}
+
+// runFull is the full engine: the scenario's entire instruction budget
+// under its own core model — the definitive answer every estimator tier
+// is eventually upgraded to.
+func (s *Scenario) runFull(ctx context.Context) (Result, error) {
 	factory, err := LookupModel(s.model)
 	if err != nil {
 		return Result{Scenario: s}, err

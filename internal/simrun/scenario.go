@@ -40,9 +40,10 @@ const warmSeedOffset = 1000
 // Scenario is one fully described simulation run. Build it with New; the
 // zero value is not usable.
 type Scenario struct {
-	bench string
-	label string
-	model string
+	bench  string
+	label  string
+	model  string
+	engine string // registered engine name; "" = DefaultEngine
 
 	cores  int
 	copies int
@@ -102,7 +103,29 @@ func New(bench string, opts ...Option) (*Scenario, error) {
 	if _, err := s.ResolvedMachine(); err != nil {
 		return nil, err
 	}
+	// Engine validation runs last: Supports hooks inspect the resolved
+	// workload (profile, thread count), so an unsupported pin is
+	// rejected with the engine's own explanation, not a run-time error.
+	if err := s.validateEngine(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// validateEngine checks the selected engine against the registry and the
+// resolved workload.
+func (s *Scenario) validateEngine() error {
+	if s.engine == "" {
+		return nil
+	}
+	eng, err := LookupEngine(s.engine)
+	if err != nil {
+		return err
+	}
+	if err := eng.Supports(s); err != nil {
+		return fmt.Errorf("simrun: engine %q cannot run scenario %q: %w", s.engine, s.Name(), err)
+	}
+	return nil
 }
 
 // MustNew is New for program setup paths where a bad scenario is a bug.
@@ -177,6 +200,50 @@ func (s *Scenario) Name() string {
 // ModelName is the registered core-model name the scenario runs under.
 func (s *Scenario) ModelName() string { return s.model }
 
+// EngineName is the registered engine the scenario runs under —
+// DefaultEngine ("full") unless the Engine option chose an estimator.
+func (s *Scenario) EngineName() string {
+	if s.engine == "" {
+		return DefaultEngine
+	}
+	return s.engine
+}
+
+// EnginePinned reports whether the Engine option chose an engine
+// explicitly. A scenario that pinned "full" runs at full fidelity even
+// under serving layers that would otherwise answer cheap-first — pinning
+// the default is how a client opts a single query out of tiered serving.
+func (s *Scenario) EnginePinned() bool { return s.engine != "" }
+
+// ForEngine returns a copy of the scenario pinned to the named engine.
+// The copy shares the scenario's fingerprint — the engine choice is a
+// host-side serving decision, never part of the simulated identity — so
+// a cheap-tier answer and the full answer land in the same cache slot.
+func (s *Scenario) ForEngine(name string) (*Scenario, error) {
+	c := *s
+	c.engine = name
+	if err := c.validateEngine(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Profile returns the resolved single-benchmark workload profile, or nil
+// when the scenario runs explicit streams or a heterogeneous mix.
+// Estimator engines profile it to build their cheap stand-in workloads.
+func (s *Scenario) Profile() *workload.Profile { return s.profile }
+
+// InstBudget is the per-thread measured instruction budget (the Insts
+// option).
+func (s *Scenario) InstBudget() int { return s.insts }
+
+// WarmupBudget is the per-thread functional-warmup budget (the Warmup
+// option).
+func (s *Scenario) WarmupBudget() int { return s.warmup }
+
+// SeedValue is the deterministic workload seed (the Seed option).
+func (s *Scenario) SeedValue() int64 { return s.seed }
+
 // ResolvedMachine returns the machine configuration the scenario will
 // simulate: the explicit Machine base (or the Table 1 default sized to
 // Threads), with every knob option applied in order.
@@ -212,13 +279,21 @@ var knobSets = map[string][]string{
 }
 
 // Knobs returns the closed knob-value sets by knob name (fabric,
-// coherence, dram, prefetch, predictor), baseline first. The returned
-// slices are copies.
+// coherence, dram, prefetch, predictor), baseline first, plus the
+// dynamic "engine" set (the registered engines, DefaultEngine first).
+// The returned slices are copies.
 func Knobs() map[string][]string {
-	out := make(map[string][]string, len(knobSets))
+	out := make(map[string][]string, len(knobSets)+1)
 	for k, v := range knobSets {
 		out[k] = append([]string(nil), v...)
 	}
+	engines := []string{DefaultEngine}
+	for _, e := range Engines() {
+		if e != DefaultEngine {
+			engines = append(engines, e)
+		}
+	}
+	out["engine"] = engines
 	return out
 }
 
@@ -241,6 +316,24 @@ func Model(name string) Option {
 			return err
 		}
 		s.model = name
+		return nil
+	}
+}
+
+// Engine selects the answering engine by registered name (see
+// RegisterEngine): DefaultEngine ("full") runs the entire budget under
+// the scenario's core model; estimator engines ("statistical",
+// "simpoint" — registered by importing internal/engine) answer at a
+// cheaper fidelity tier. The choice never enters the scenario
+// fingerprint: every engine answers the same scenario, and caches only
+// ever upgrade an entry to a higher tier. Unknown names and unsupported
+// scenario/engine combinations are rejected by New.
+func Engine(name string) Option {
+	return func(s *Scenario) error {
+		if name == "" {
+			return fmt.Errorf("simrun: empty engine name")
+		}
+		s.engine = name
 		return nil
 	}
 }

@@ -28,9 +28,16 @@ type Spec struct {
 	// of silently comparing against renumbered simulations.
 	Version int `json:"version,omitempty"`
 
-	Bench  string   `json:"bench,omitempty"`
-	Label  string   `json:"label,omitempty"`
-	Model  string   `json:"model,omitempty"`
+	Bench string `json:"bench,omitempty"`
+	Label string `json:"label,omitempty"`
+	Model string `json:"model,omitempty"`
+	// Engine pins the answering engine (simrun.Engine): omitted or
+	// "full" runs the complete budget under the core model; estimator
+	// engines ("statistical", "simpoint") answer at a cheaper fidelity
+	// tier. Unknown engine or tier names are rejected loudly with the
+	// registered set — mirroring the Version rejection below — so a
+	// typo never silently runs the wrong fidelity.
+	Engine string   `json:"engine,omitempty"`
 	Cores  int      `json:"cores,omitempty"`
 	Copies int      `json:"copies,omitempty"`
 	Mix    []string `json:"mix,omitempty"`
@@ -78,6 +85,9 @@ func (sp Spec) Options() []Option {
 	}
 	if sp.Model != "" {
 		opts = append(opts, Model(sp.Model))
+	}
+	if sp.Engine != "" {
+		opts = append(opts, Engine(sp.Engine))
 	}
 	if sp.Cores != 0 {
 		opts = append(opts, Cores(sp.Cores))
@@ -189,6 +199,9 @@ func (sp Spec) merge(def Spec) Spec {
 	}
 	if out.Model == "" {
 		out.Model = def.Model
+	}
+	if out.Engine == "" {
+		out.Engine = def.Engine
 	}
 	if out.Cores == 0 {
 		out.Cores = def.Cores
