@@ -56,6 +56,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/memhier"
 	"repro/internal/multicore"
+	"repro/internal/obs"
 	"repro/internal/oneipc"
 	"repro/internal/parsim"
 	"repro/internal/sim"
@@ -183,10 +184,18 @@ func main() {
 		quick    = flag.Bool("quick", false, "small sizes for a smoke run")
 		hostpar  = flag.Int("hostpar", 4, "host-parallel engine setting for the sequential-vs-parallel section (0 skips the section)")
 		tierTol  = flag.Float64("tier-tolerance", 0.6, "allowed statistical-vs-interval CPI relative error in the tier-accuracy check (0 skips the section)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the benchmark's simulation spans to this file")
+		obsCheck = flag.Bool("obs-overhead", false, "zero-overhead contract check: run only the interval replay set with observability disabled and gate its geomean against -baseline")
 	)
 	flag.Parse()
 	if *quick {
 		*insts, *warmup, *reps = 100_000, 50_000, 2
+	}
+	if *traceOut != "" {
+		benchTracer = obs.NewTracer(1 << 16)
+	}
+	if *obsCheck {
+		os.Exit(obsOverhead(*insts, *warmup, *reps, *baseline, *tol))
 	}
 
 	rep := Report{
@@ -309,6 +318,13 @@ func main() {
 	rep.Summary.IntervalReplayGeomeanMIPS = geomean(replayMIPS)
 	rep.Summary.IntervalGeneratedGeomeanMIPS = geomean(genMIPS)
 
+	if benchTracer != nil {
+		if err := writeTrace(*traceOut, benchTracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -330,6 +346,67 @@ func main() {
 	if *baseline != "" {
 		gate(*baseline, rep, *tol)
 	}
+}
+
+// benchTracer, when -trace is set, collects spans from the sections
+// that run through instrumented drivers (hostpar, tier accuracy).
+var benchTracer *obs.Tracer
+
+// writeTrace dumps the recorded spans as Chrome trace_event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// obsOverhead is the -obs-overhead mode: the single-core interval replay
+// set with observability fully disabled (nil Trace and Heartbeat — the
+// default RunConfig), gated against the baseline's replay geomean. The
+// instrumented driver promises zero cost when hooks are off; a
+// regression here means the disabled hooks are not free.
+func obsOverhead(insts, warmup, reps int, baseline string, tol float64) int {
+	var mips []float64
+	for _, name := range specSet {
+		p := workload.SPECByName(name)
+		tr := trace.Record(workload.New(p, 0, 1, 42), insts)
+		wtr := trace.Record(workload.New(p, 0, 1, 1042), warmup)
+		r := runBest(reps, multicore.Interval, 1, warmup,
+			func() []trace.Stream { return []trace.Stream{trace.NewSliceStream(tr)} },
+			func() []trace.Stream { return []trace.Stream{trace.NewSliceStream(wtr)} })
+		mips = append(mips, r.MIPS())
+		fmt.Fprintf(os.Stderr, "bench: obs-overhead %-8s %.2f MIPS\n", name, r.MIPS())
+	}
+	g := geomean(mips)
+	fmt.Fprintf(os.Stderr, "bench: obs-overhead interval replay geomean %.2f MIPS (observability disabled)\n", g)
+	if baseline == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: baseline:", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: baseline:", err)
+		return 1
+	}
+	want := base.Summary.IntervalReplayGeomeanMIPS * (1 - tol)
+	if g < want {
+		fmt.Fprintf(os.Stderr,
+			"bench: FAIL obs-overhead geomean %.2f MIPS < %.2f (baseline %.2f - %.0f%%): disabled observability hooks cost measurable speed\n",
+			g, want, base.Summary.IntervalReplayGeomeanMIPS, tol*100)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "bench: PASS obs-overhead %.2f MIPS vs baseline %.2f (tolerance %.0f%%)\n",
+		g, base.Summary.IntervalReplayGeomeanMIPS, tol*100)
+	return 0
 }
 
 // defaultTolerance is the -tolerance default: 0.20 unless the
@@ -413,7 +490,7 @@ func hostparMixPoint(cores, insts, reps, hostpar int) HostParResult {
 // fresh streams per call (generators are stateful).
 func hostparMeasure(row HostParResult, reps int, streams func() []trace.Stream) HostParResult {
 	cfg := func() multicore.RunConfig {
-		return multicore.RunConfig{Machine: config.Default(row.Cores), Model: multicore.Interval}
+		return multicore.RunConfig{Machine: config.Default(row.Cores), Model: multicore.Interval, Trace: benchTracer}
 	}
 	var seq, par multicore.Result
 	for r := 0; r < reps; r++ {
@@ -603,7 +680,11 @@ func tierAccuracy(insts, warmup int) ([]TierResult, float64) {
 	var rows []TierResult
 	var worst float64
 	for _, name := range []string{"gcc", "mcf", "swim"} {
-		full, err := simrun.New(name, simrun.Insts(insts), simrun.Warmup(warmup), simrun.Seed(42))
+		opts := []simrun.Option{simrun.Insts(insts), simrun.Warmup(warmup), simrun.Seed(42)}
+		if benchTracer != nil {
+			opts = append(opts, simrun.Observe(&obs.Observer{Tracer: benchTracer}))
+		}
+		full, err := simrun.New(name, opts...)
 		die(name, err)
 		est, err := full.ForEngine("statistical")
 		die(name, err)

@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/simrun"
@@ -31,6 +32,19 @@ import (
 // process exits with run's status code.
 func main() {
 	os.Exit(run())
+}
+
+// writeTrace dumps the recorded spans as Chrome trace_event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run() int {
@@ -57,6 +71,8 @@ func run() int {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in chrome://tracing or ui.perfetto.dev)")
+		progress   = flag.Bool("progress", false, "print live progress lines (retired, MIPS, ETA) to stderr")
 	)
 	flag.Parse()
 	flush, err := prof.Start(*cpuprofile, *memprofile)
@@ -107,6 +123,22 @@ func run() int {
 	if *stack || *rep || *asJSON {
 		opts = append(opts, simrun.KeepCores())
 	}
+	// Observability rides the scenario but never its fingerprint or
+	// result bytes: -trace and -progress change what is printed, not
+	// what is simulated.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(1 << 16)
+	}
+	if tracer != nil || *progress {
+		obsv := &obs.Observer{Tracer: tracer}
+		if *progress {
+			obsv.Progress = func(p obs.Progress) {
+				fmt.Fprintf(os.Stderr, "intervalsim: %s\n", p)
+			}
+		}
+		opts = append(opts, simrun.Observe(obsv))
+	}
 	// simrun validates every knob eagerly: an unknown model, benchmark,
 	// fabric, coherence protocol, DRAM model, prefetcher or predictor
 	// name is a usage error, never silently ignored.
@@ -122,6 +154,14 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := s.Run(ctx)
+	if tracer != nil {
+		if werr := writeTrace(*traceOut, tracer); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			if err == nil {
+				return 1
+			}
+		}
+	}
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, err)

@@ -35,6 +35,7 @@ import (
 	// tiered serving has cheap tiers to answer from and specs may pin
 	// them explicitly.
 	_ "repro/internal/engine"
+	"repro/internal/prof"
 	"repro/internal/simd"
 	"repro/internal/simrun"
 )
@@ -48,8 +49,18 @@ func main() {
 		entries = flag.Int("cache-entries", 256, "in-memory result-cache capacity")
 		tiered  = flag.Bool("tiered", false, "answer from the cheapest fidelity tier immediately and upgrade in the background")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and in-flight jobs")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file, flushed when the SIGTERM drain completes")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file, flushed when the SIGTERM drain completes")
 	)
 	flag.Parse()
+	flush, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer flush()
 
 	cache, err := simrun.NewCache(simrun.CacheOpts{
 		Entries:    *entries,
@@ -61,7 +72,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	server, err := simd.New(simd.Config{Workers: *jobs, QueueDepth: *depth, Cache: cache, TieredServing: *tiered})
+	server, err := simd.New(simd.Config{Workers: *jobs, QueueDepth: *depth, Cache: cache, TieredServing: *tiered, Pprof: *pprofOn})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -99,6 +110,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simd: shutdown: %v\n", err)
 	}
 	<-errc // ListenAndServe has returned ErrServerClosed
+	// Flush profiles now that the drain is over: the profile covers the
+	// serving lifetime and survives the non-zero exit below, which would
+	// skip the deferred flush.
+	flush()
 	fmt.Println("simd: bye")
 	if drainErr != nil {
 		os.Exit(1)

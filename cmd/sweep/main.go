@@ -38,12 +38,14 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 
 	"repro/internal/config"
 	// Register the estimator engines for -adaptive and for spec files
 	// that pin "engine".
 	_ "repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/simrun"
 )
@@ -69,6 +71,8 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (written on normal exit)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on normal exit")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the whole sweep to this file")
+		progress   = flag.Bool("progress", false, "print live per-scenario progress lines (retired, MIPS, ETA) to stderr")
 	)
 	flag.Parse()
 
@@ -82,8 +86,33 @@ func main() {
 		os.Exit(2)
 	}
 	defer flush()
+
+	// The sweep-wide trace collects every scenario's spans in one ring;
+	// like the profiles, it is written on every exit path so an
+	// interrupted sweep still leaves a loadable trace.
+	var tracer *obs.Tracer
+	writeTrace := func() {}
+	if *traceOut != "" {
+		tracer = obs.NewTracer(1 << 18)
+		var once sync.Once
+		writeTrace = func() {
+			once.Do(func() {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				if err := tracer.WriteChrome(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+				f.Close()
+			})
+		}
+	}
+	defer writeTrace()
 	exitWith = func(code int) {
 		flush()
+		writeTrace()
 		os.Exit(code)
 	}
 
@@ -97,6 +126,14 @@ func main() {
 		exitWith(2)
 	}
 	s := &sweeper{ctx: ctx, insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs, hostpar: *hostpar, adaptive: *adaptive, top: *top}
+	if tracer != nil || *progress {
+		s.obsv = &obs.Observer{Tracer: tracer}
+		if *progress {
+			s.obsv.Progress = func(p obs.Progress) {
+				fmt.Fprintf(os.Stderr, "sweep: %s\n", p)
+			}
+		}
+	}
 	if *file != "" {
 		s.sweepFile(*file)
 		return
@@ -126,6 +163,9 @@ type sweeper struct {
 	hostpar     int
 	adaptive    bool
 	top         float64
+	// obsv, when set, is attached to every scenario the sweep runs: one
+	// shared tracer and progress sink across the whole batch.
+	obsv *obs.Observer
 }
 
 // scenario builds one sweep scenario, treating a bad benchmark name (or
@@ -154,6 +194,11 @@ func (s *sweeper) point(name, model string, tweak func(*config.Machine)) *simrun
 // run executes the scenarios across the host worker pool and returns the
 // results in input order, exiting on the first failure.
 func (s *sweeper) run(scs []*simrun.Scenario) []simrun.BatchResult {
+	if s.obsv != nil {
+		for _, sc := range scs {
+			sc.SetObserver(s.obsv)
+		}
+	}
 	results := simrun.Batch(s.ctx, scs, simrun.BatchOpts{Workers: s.jobs})
 	for _, r := range results {
 		if errors.Is(r.Err, context.Canceled) {

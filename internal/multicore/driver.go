@@ -16,6 +16,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/memhier"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/oneipc"
 	"repro/internal/ooo"
 	"repro/internal/sim"
@@ -95,6 +96,16 @@ type RunConfig struct {
 	// Ablation selects interval-model ablation variants (zero value =
 	// full model); ignored by the other models.
 	Ablation core.Options
+	// Trace, when non-nil, receives warmup and measure spans for the
+	// run. Spans are host wall-clock observability only: they never
+	// influence simulated state, so results are identical with tracing
+	// on or off. Nil (the default) costs nothing on the stepping path.
+	Trace *obs.Tracer
+	// Heartbeat, when non-nil, receives throttled live-progress reports
+	// (instructions retired, MIPS, ETA). It is polled at the same
+	// periodic points as Interrupt, so the per-cycle path stays free of
+	// observability work.
+	Heartbeat *obs.Heartbeat
 }
 
 // CoreResult is the outcome for one core/thread.
@@ -173,7 +184,9 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 		if warm == nil {
 			warm = streams
 		}
+		wsp := cfg.Trace.Start("warmup").Arg("insts_per_core", int64(cfg.WarmupInsts))
 		warmup(mem, bps, warm, cfg.WarmupInsts)
+		wsp.End()
 	}
 
 	cores := BuildCores(cfg, bps, mem, coord, streams)
@@ -204,6 +217,11 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 		live[i] = i
 	}
 
+	// poll folds the observability hooks into the existing periodic
+	// interrupt check, so the per-cycle path gains no new branches when
+	// neither is set.
+	poll := cfg.Interrupt != nil || cfg.Heartbeat != nil
+	msp := cfg.Trace.Start("measure")
 	start := time.Now()
 	now := int64(0)
 	n := len(cores)
@@ -216,15 +234,18 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 			coord.NoteDone(0)
 		} else {
 			for iter := uint(0); ; iter++ {
-				if cfg.Interrupt != nil && iter&1023 == 0 {
-					select {
-					case <-cfg.Interrupt:
-						res.Interrupted = true
-					default:
+				if poll && iter&1023 == 0 {
+					if cfg.Interrupt != nil {
+						select {
+						case <-cfg.Interrupt:
+							res.Interrupted = true
+						default:
+						}
+						if res.Interrupted {
+							break
+						}
 					}
-					if res.Interrupted {
-						break
-					}
+					cfg.Heartbeat.Tick(c.Retired())
 				}
 				c.Step(now)
 				if c.Done() {
@@ -242,25 +263,36 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 				}
 			}
 		}
+		msp.Arg("cycles", now).End()
 		res.Wall = time.Since(start)
 		if cfg.KeepCores {
 			res.Sim = cores
 			res.Mem = mem
 		}
 		finishResult(&res, cores, now)
+		cfg.Heartbeat.Final(res.TotalRetired)
 		return res
 	}
 	for iter := uint(0); ; iter++ {
 		// Poll the interrupt channel periodically, not every iteration:
 		// a channel select on the per-cycle path would be measurable.
-		if cfg.Interrupt != nil && iter&1023 == 0 {
-			select {
-			case <-cfg.Interrupt:
-				res.Interrupted = true
-			default:
+		if poll && iter&1023 == 0 {
+			if cfg.Interrupt != nil {
+				select {
+				case <-cfg.Interrupt:
+					res.Interrupted = true
+				default:
+				}
+				if res.Interrupted {
+					break
+				}
 			}
-			if res.Interrupted {
-				break
+			if cfg.Heartbeat != nil {
+				var sum uint64
+				for _, c := range cores {
+					sum += c.Retired()
+				}
+				cfg.Heartbeat.Tick(sum)
 			}
 		}
 		// Rotate the stepping order each cycle: same-cycle races for the
@@ -335,12 +367,14 @@ func Run(cfg RunConfig, streams []trace.Stream) Result {
 			break
 		}
 	}
+	msp.Arg("cycles", now).End()
 	res.Wall = time.Since(start)
 	if cfg.KeepCores {
 		res.Sim = cores
 		res.Mem = mem
 	}
 	finishResult(&res, cores, now)
+	cfg.Heartbeat.Final(res.TotalRetired)
 	return res
 }
 

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line of an exposition payload.
+type ParsedSample struct {
+	// Name is the full sample name (for histograms this includes the
+	// _bucket/_sum/_count suffix).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family of an exposition payload.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    Kind
+	Samples []ParsedSample
+}
+
+// ParseText parses a Prometheus text-exposition payload (the format
+// WriteAll emits and Prometheus scrapes) and validates its structure:
+// every sample must belong to a family with a preceding # TYPE line,
+// histogram samples must use the _bucket/_sum/_count suffixes, values
+// must be valid floats, and label syntax must be well-formed. It exists
+// so tests can assert a /metrics payload is actually scrapable rather
+// than merely greppable.
+func ParseText(r io.Reader) (map[string]*ParsedFamily, error) {
+	families := map[string]*ParsedFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("obs: line %d: HELP without a metric name", lineNo)
+			}
+			f := families[name]
+			if f == nil {
+				f = &ParsedFamily{Name: name}
+				families[name] = f
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch Kind(typ) {
+			case KindCounter, KindGauge, KindHistogram:
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, typ)
+			}
+			f := families[name]
+			if f == nil {
+				f = &ParsedFamily{Name: name}
+				families[name] = f
+			}
+			if f.Type != "" {
+				return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			f.Type = Kind(typ)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		f := familyFor(families, sample.Name)
+		if f == nil {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no preceding # TYPE line", lineNo, sample.Name)
+		}
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("obs: family %q has no # TYPE line", name)
+		}
+		if f.Type == KindHistogram {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyFor resolves a sample name to its family, accepting histogram
+// suffixes only for histogram-typed families.
+func familyFor(families map[string]*ParsedFamily, sample string) *ParsedFamily {
+	if f, ok := families[sample]; ok && f.Type != "" {
+		if f.Type == KindHistogram {
+			return nil // a bare sample of a histogram family is malformed
+		}
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f, ok := families[base]; ok && f.Type == KindHistogram {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates that a histogram family carries a +Inf
+// bucket and a _sum/_count pair per label set.
+func checkHistogram(f *ParsedFamily) error {
+	hasInf, hasSum, hasCount := false, false, false
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if s.Labels["le"] == "" {
+				return fmt.Errorf("obs: histogram %q bucket without le label", f.Name)
+			}
+			if s.Labels["le"] == "+Inf" {
+				hasInf = true
+			}
+		case strings.HasSuffix(s.Name, "_sum"):
+			hasSum = true
+		case strings.HasSuffix(s.Name, "_count"):
+			hasCount = true
+		}
+	}
+	if !hasInf || !hasSum || !hasCount {
+		return fmt.Errorf("obs: histogram %q missing +Inf bucket, _sum or _count", f.Name)
+	}
+	return nil
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = cutSpace(rest)
+		if !ok {
+			return s, fmt.Errorf("sample line %q has no value", line)
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	if s.Name == "" {
+		return s, fmt.Errorf("sample line %q has no metric name", line)
+	}
+	// A trailing timestamp is permitted by the format; take the first
+	// field as the value.
+	valStr, _, _ := cutSpace(rest)
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// cutSpace splits at the first run of spaces.
+func cutSpace(s string) (before, after string, found bool) {
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], strings.TrimLeft(s[i:], " "), true
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst.
+func parseLabels(s string, dst map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("label %q value is not quoted", key)
+		}
+		// Values WriteAll emits are %q-quoted; Unquote handles escapes.
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return fmt.Errorf("label %q value: %v", key, err)
+		}
+		dst[key] = val
+		s = strings.TrimPrefix(strings.TrimSpace(rest[end+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}

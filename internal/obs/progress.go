@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress is one live heartbeat from a running simulation: how many
+// instructions have retired, at what host speed, and how long the rest
+// should take at that speed. It is observability output only — it never
+// feeds back into simulated state or result payloads.
+type Progress struct {
+	// Label names the run (the scenario's display name).
+	Label string `json:"label,omitempty"`
+	// Tier is the fidelity tier currently being computed.
+	Tier string `json:"tier,omitempty"`
+	// Retired is the total simulated instructions retired so far,
+	// summed across cores.
+	Retired uint64 `json:"retired"`
+	// Budget is the total instruction budget when known (0 = unknown,
+	// e.g. explicit streams), making Retired/Budget a completion ratio.
+	Budget uint64 `json:"budget,omitempty"`
+	// MIPS is the host simulation speed so far (millions of simulated
+	// instructions per host second).
+	MIPS float64 `json:"mips"`
+	// ETASeconds estimates the remaining host time at the current
+	// speed (0 when Budget is unknown or the run is effectively done).
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+	// ElapsedSeconds is the host time since the heartbeat started.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// String renders the heartbeat as one human-readable progress line,
+// the form the CLIs print to stderr under -progress.
+func (p Progress) String() string {
+	var b strings.Builder
+	if p.Label != "" {
+		fmt.Fprintf(&b, "%s ", p.Label)
+	}
+	if p.Tier != "" {
+		fmt.Fprintf(&b, "[%s] ", p.Tier)
+	}
+	if p.Budget > 0 {
+		fmt.Fprintf(&b, "%.1fM/%.1fM insts (%.0f%%)",
+			float64(p.Retired)/1e6, float64(p.Budget)/1e6,
+			100*float64(p.Retired)/float64(p.Budget))
+	} else {
+		fmt.Fprintf(&b, "%.1fM insts", float64(p.Retired)/1e6)
+	}
+	fmt.Fprintf(&b, " %.1f MIPS", p.MIPS)
+	if p.ETASeconds > 0 {
+		fmt.Fprintf(&b, " eta %.1fs", p.ETASeconds)
+	}
+	return b.String()
+}
+
+// Heartbeat emits throttled Progress reports. Drivers call Tick from
+// their existing periodic poll points (the interrupt-poll throttle);
+// Tick rate-limits to Every and computes speed and ETA. All methods
+// no-op on a nil *Heartbeat.
+type Heartbeat struct {
+	// Emit receives each throttled report. Calls are serialized.
+	Emit func(Progress)
+	// Every is the minimum interval between reports (<=0 selects 500ms).
+	Every time.Duration
+	// Label and Tier annotate every report.
+	Label string
+	Tier  string
+	// Budget is the total instruction budget when known.
+	Budget uint64
+
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+}
+
+// DefaultHeartbeatEvery is the report interval when Every is unset.
+const DefaultHeartbeatEvery = 500 * time.Millisecond
+
+// Tick reports progress if at least Every has elapsed since the last
+// report. Nil-safe; safe for concurrent use (reports serialize).
+func (h *Heartbeat) Tick(retired uint64) {
+	if h == nil || h.Emit == nil {
+		return
+	}
+	every := h.Every
+	if every <= 0 {
+		every = DefaultHeartbeatEvery
+	}
+	now := time.Now()
+	h.mu.Lock()
+	if h.start.IsZero() {
+		// First tick arms the clock; the first report lands one
+		// interval later so short runs stay silent.
+		h.start, h.last = now, now
+		h.mu.Unlock()
+		return
+	}
+	if now.Sub(h.last) < every {
+		h.mu.Unlock()
+		return
+	}
+	h.last = now
+	p := h.progressLocked(retired, now)
+	h.mu.Unlock()
+	h.Emit(p)
+}
+
+// Final reports one last unthrottled progress (end-of-run totals), if
+// the heartbeat ever ticked. Nil-safe.
+func (h *Heartbeat) Final(retired uint64) {
+	if h == nil || h.Emit == nil {
+		return
+	}
+	now := time.Now()
+	h.mu.Lock()
+	if h.start.IsZero() {
+		h.mu.Unlock()
+		return
+	}
+	p := h.progressLocked(retired, now)
+	h.mu.Unlock()
+	h.Emit(p)
+}
+
+// progressLocked assembles a report; h.mu must be held.
+func (h *Heartbeat) progressLocked(retired uint64, now time.Time) Progress {
+	elapsed := now.Sub(h.start).Seconds()
+	p := Progress{
+		Label:          h.Label,
+		Tier:           h.Tier,
+		Retired:        retired,
+		Budget:         h.Budget,
+		ElapsedSeconds: elapsed,
+	}
+	if elapsed > 0 {
+		p.MIPS = float64(retired) / elapsed / 1e6
+	}
+	if h.Budget > retired && p.MIPS > 0 {
+		p.ETASeconds = float64(h.Budget-retired) / (p.MIPS * 1e6)
+	}
+	return p
+}
+
+// Observer bundles the per-run observability sinks a caller attaches to
+// a scenario: a span tracer and a progress callback. A nil *Observer
+// (the default) disables everything at zero cost.
+type Observer struct {
+	// Tracer receives lifecycle and engine spans (nil = no tracing).
+	Tracer *Tracer
+	// Progress receives throttled heartbeats (nil = no progress).
+	Progress func(Progress)
+	// ProgressEvery overrides the heartbeat interval (0 = default).
+	ProgressEvery time.Duration
+}
+
+// ObsTracer returns the observer's tracer; nil-safe.
+func (o *Observer) ObsTracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanRec is one completed span: a named interval on a track (TID),
+// with optional numeric arguments (aggregated wait times, counts).
+// Times are microseconds relative to the tracer's epoch, which is what
+// both the JSON trace endpoint and the Chrome trace_event exporter
+// serve directly.
+type SpanRec struct {
+	Name    string           `json:"name"`
+	TID     int              `json:"tid"`
+	StartUS int64            `json:"start_us"`
+	DurUS   int64            `json:"dur_us"`
+	Args    map[string]int64 `json:"args,omitempty"`
+}
+
+// Tracer records spans into a bounded in-memory ring. All methods are
+// safe for concurrent use and all are no-ops on a nil *Tracer — the
+// zero-cost-when-disabled contract: instrumented code calls
+// tracer.Start(...) unconditionally cheaply only where a nil check
+// already guards the slow path.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	ring    []SpanRec
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// DefaultSpanCap bounds the span ring when NewTracer is given no
+// capacity: enough for the full lifecycle of a job plus thousands of
+// parsim epoch spans.
+const DefaultSpanCap = 4096
+
+// NewTracer builds a tracer with a bounded span ring (capacity <= 0
+// selects DefaultSpanCap). The tracer's epoch is its creation time.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &Tracer{epoch: time.Now(), ring: make([]SpanRec, 0, capacity)}
+}
+
+// Since converts an absolute time to the tracer's relative microsecond
+// clock. Nil-safe (returns 0).
+func (t *Tracer) Since(at time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return at.Sub(t.epoch).Microseconds()
+}
+
+// Now is Since(time.Now()). Nil-safe (returns 0).
+func (t *Tracer) Now() int64 { return t.Since(time.Now()) }
+
+// Add records a completed span. Nil-safe. When the ring is full the
+// oldest span is overwritten and the drop counted.
+func (t *Tracer) Add(s SpanRec) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next++
+		if t.next == cap(t.ring) {
+			t.next = 0
+		}
+		t.wrapped = true
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Span is an in-flight span handle returned by Start. A nil *Span
+// no-ops every method, so callers never nil-check individual handles.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int
+	start time.Time
+	args  map[string]int64
+}
+
+// Start opens a span now. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// TID assigns the span to a track (a simulated core, a worker).
+func (s *Span) TID(id int) *Span {
+	if s != nil {
+		s.tid = id
+	}
+	return s
+}
+
+// Arg attaches a numeric argument, visible in the trace viewer.
+func (s *Span) Arg(key string, v int64) *Span {
+	if s == nil {
+		return s
+	}
+	if s.args == nil {
+		s.args = map[string]int64{}
+	}
+	s.args[key] = v
+	return s
+}
+
+// End closes the span and records it. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.t.Add(SpanRec{
+		Name:    s.name,
+		TID:     s.tid,
+		StartUS: s.t.Since(s.start),
+		DurUS:   now.Sub(s.start).Microseconds(),
+		Args:    s.args,
+	})
+}
+
+// Spans snapshots the recorded spans in chronological ring order
+// (oldest first). Nil-safe (returns nil).
+func (t *Tracer) Spans() []SpanRec {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]SpanRec(nil), t.ring...)
+	}
+	out := make([]SpanRec, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped is the number of spans lost to ring overflow. Nil-safe.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is one trace_event record ("X" = complete event with
+// duration), the format chrome://tracing and Perfetto load directly.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	TS   int64            `json:"ts"`
+	Dur  int64            `json:"dur"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChrome renders the recorded spans as Chrome trace_event JSON
+// (load the file in chrome://tracing or ui.perfetto.dev). Nil-safe
+// (writes an empty trace).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, len(spans))
+	for i, s := range spans {
+		events[i] = chromeEvent{Name: s.Name, Ph: "X", TS: s.StartUS, Dur: s.DurUS, PID: 1, TID: s.TID, Args: s.Args}
+	}
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}
+
+// tracerKey carries a *Tracer through a context.
+type tracerKey struct{}
+
+// ContextWith returns a context carrying the tracer.
+func ContextWith(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// FromContext extracts the context's tracer (nil when absent — and a
+// nil tracer no-ops, so callers never branch).
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span on the context's tracer: the one-liner form
+// obs.StartSpan(ctx, "cache:store") for code that already threads a
+// context. No-op (nil span) when the context carries no tracer.
+func StartSpan(ctx context.Context, name string) *Span {
+	return FromContext(ctx).Start(name)
+}

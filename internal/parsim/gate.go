@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/sim"
@@ -60,8 +61,23 @@ type gate struct {
 	abort atomic.Int32
 	stop  atomic.Bool
 
-	// enters counts gated shared sections (observability).
+	// enters counts gated shared sections and barriers counts epoch
+	// barrier waits (observability).
+	enters   atomic.Uint64
+	barriers atomic.Uint64
+
+	// times, when non-nil (tracing enabled), accumulates per-core gate
+	// wait time and section counts so epoch spans can report where a
+	// core's wall-clock went. Nil when tracing is off: Enter then takes
+	// no timestamps — the zero-cost-when-disabled contract.
+	times []gateTimes
+}
+
+// gateTimes is one core's gate-wait accumulators on its own cache line.
+type gateTimes struct {
+	waitNS atomic.Int64
 	enters atomic.Uint64
+	_      [6]int64
 }
 
 func newGate(n int) *gate {
@@ -109,6 +125,7 @@ func (g *gate) broken() bool {
 // cycle (the epoch barrier). It returns false when released by an abort or
 // interrupt instead.
 func (g *gate) waitReach(cycle int64) bool {
+	g.barriers.Add(1)
 	threshold := cycle * int64(g.n)
 	for {
 		if g.broken() {
@@ -133,6 +150,13 @@ func (g *gate) waitReach(cycle int64) bool {
 // order), then take the shared-section lock.
 func (g *gate) Enter(core int) {
 	g.enters.Add(1)
+	// Timestamps only when tracing asked for them: Enter runs on every
+	// shared-hierarchy access, so the disabled path must stay free of
+	// clock reads.
+	var t0 time.Time
+	if g.times != nil {
+		t0 = time.Now()
+	}
 	my := g.keys[core].v.Load() // owner-published: stable during the step
 	for !g.broken() {
 		ok := true
@@ -148,6 +172,10 @@ func (g *gate) Enter(core int) {
 		runtime.Gosched()
 	}
 	g.mu.Lock()
+	if g.times != nil {
+		g.times[core].waitNS.Add(time.Since(t0).Nanoseconds())
+		g.times[core].enters.Add(1)
+	}
 }
 
 // Exit implements memhier.Arbiter.

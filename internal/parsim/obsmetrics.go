@@ -1,0 +1,47 @@
+package parsim
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// The engine's process-wide counters, registered into obs.Default() on
+// the first run so a process that never uses parsim exposes none of
+// them.
+var (
+	metricsOnce sync.Once
+	mRuns       *obs.Counter
+	mBarriers   *obs.Counter
+	mGated      *obs.Counter
+	mAbortShare *obs.Counter
+	mAbortSync  *obs.Counter
+)
+
+func initMetrics() {
+	r := obs.Default()
+	mRuns = r.Counter("parsim_runs_total",
+		"Host-parallel engine runs attempted (including aborted ones).")
+	mBarriers = r.Counter("parsim_epoch_barriers_total",
+		"Epoch-barrier waits summed across cores.")
+	mGated = r.Counter("parsim_gated_sections_total",
+		"Shared-hierarchy sections serialized through the ordering gate.")
+	const abortHelp = "Parallel runs abandoned to the sequential driver, by reason."
+	mAbortShare = r.Counter("parsim_aborts_total", abortHelp, obs.Label{Key: "reason", Value: "sharing"})
+	mAbortSync = r.Counter("parsim_aborts_total", abortHelp, obs.Label{Key: "reason", Value: "sync"})
+}
+
+// flushMetrics folds one run's gate counters into the process-wide
+// registry. Called once after stepping ends — never on the hot path.
+func flushMetrics(g *gate) {
+	metricsOnce.Do(initMetrics)
+	mRuns.Inc()
+	mBarriers.Add(g.barriers.Load())
+	mGated.Add(g.enters.Load())
+	switch g.abort.Load() {
+	case abortSharing:
+		mAbortShare.Inc()
+	case abortSync:
+		mAbortSync.Inc()
+	}
+}

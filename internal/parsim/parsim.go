@@ -39,12 +39,14 @@ package parsim
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/branch"
 	"repro/internal/memhier"
 	"repro/internal/metrics"
 	"repro/internal/multicore"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -70,6 +72,8 @@ type Stats struct {
 	// GatedSections counts shared-hierarchy sections that went through
 	// the ordering gate.
 	GatedSections uint64
+	// EpochBarriers counts epoch-barrier waits across all cores.
+	EpochBarriers uint64
 	// AbortedSharing is set when the run was abandoned because of a
 	// cross-core invalidation; AbortedSync when a synchronization
 	// instruction appeared.
@@ -119,10 +123,17 @@ func Run(cfg multicore.RunConfig, opt Config, streams []trace.Stream) (multicore
 		if warm == nil {
 			warm = streams
 		}
+		wsp := cfg.Trace.Start("warmup").Arg("insts_per_core", int64(cfg.WarmupInsts))
 		multicore.Warmup(mem, bps, warm, cfg.WarmupInsts)
+		wsp.End()
 	}
 
 	g := newGate(n)
+	if cfg.Trace != nil {
+		// Per-core gate-wait accumulators feed the epoch spans; leaving
+		// them nil keeps Enter free of clock reads when tracing is off.
+		g.times = make([]gateTimes, n)
+	}
 	cores := multicore.BuildCores(cfg, bps, mem, syncTrap{g}, streams)
 	mem.SetArbiter(g)
 	defer mem.SetArbiter(nil)
@@ -133,9 +144,13 @@ func Run(cfg multicore.RunConfig, opt Config, streams []trace.Stream) (multicore
 	}
 	res := multicore.Result{Model: cfg.Model, ModelName: label, Cores: make([]multicore.CoreResult, n)}
 
-	e := &engine{gate: g, quantum: quantum, maxCycles: maxCycles, interrupt: cfg.Interrupt}
+	e := &engine{gate: g, quantum: quantum, maxCycles: maxCycles, interrupt: cfg.Interrupt, tr: cfg.Trace, hb: cfg.Heartbeat}
+	if cfg.Heartbeat != nil {
+		e.prog = make([]progSlot, n)
+	}
 	stops := make([]coreStop, n)
 	var wg sync.WaitGroup
+	msp := cfg.Trace.Start("measure")
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -145,15 +160,18 @@ func Run(cfg multicore.RunConfig, opt Config, streams []trace.Stream) (multicore
 		}(i)
 	}
 	wg.Wait()
+	msp.Arg("epoch_barriers", int64(g.barriers.Load())).End()
 	res.Wall = time.Since(start)
 
 	if opt.Stats != nil {
 		*opt.Stats = Stats{
 			GatedSections:  g.enters.Load(),
+			EpochBarriers:  g.barriers.Load(),
 			AbortedSharing: g.abort.Load() == abortSharing,
 			AbortedSync:    g.abort.Load() == abortSync,
 		}
 	}
+	flushMetrics(g)
 	if g.abort.Load() != abortNone {
 		return res, false
 	}
@@ -187,9 +205,11 @@ func Run(cfg multicore.RunConfig, opt Config, streams []trace.Stream) (multicore
 		// core against its own stop cycle so the partial per-core IPCs
 		// are at least internally consistent.
 		finishInterrupted(&res, cores, stops)
+		cfg.Heartbeat.Final(res.TotalRetired)
 		return res, true
 	}
 	multicore.FinishResult(&res, cores, nowFinal)
+	cfg.Heartbeat.Final(res.TotalRetired)
 	return res, true
 }
 
@@ -220,6 +240,23 @@ type engine struct {
 	quantum   int64
 	maxCycles int64
 	interrupt <-chan struct{}
+
+	// tr receives per-epoch per-core spans (nil = no tracing). Spans
+	// measure host wall-clock only and never touch simulated state, so
+	// the bit-identity contract holds with tracing on.
+	tr *obs.Tracer
+	// hb receives throttled progress; prog is the per-core retired
+	// counts, each on its own cache line, written by each core's own
+	// goroutine and summed by core 0 (cross-goroutine Retired() calls
+	// on live cores would race).
+	hb   *obs.Heartbeat
+	prog []progSlot
+}
+
+// progSlot is one core's published retired count on its own cache line.
+type progSlot struct {
+	v atomic.Uint64
+	_ [7]int64
 }
 
 // runCore is one simulated core's stepping loop. It reproduces the
@@ -236,27 +273,46 @@ func (e *engine) runCore(i int, c sim.Core, st *coreStop) {
 	if c.Done() {
 		return
 	}
+	// ep is non-nil only when tracing: it emits one span per completed
+	// epoch, splitting the wall time into stepping, barrier wait and
+	// gate wait. poll folds progress publication into the existing
+	// periodic interrupt check.
+	var ep *epochTrack
+	if e.tr != nil {
+		ep = &epochTrack{e: e, core: i, epochStart: time.Now()}
+	}
+	poll := e.interrupt != nil || e.prog != nil
 	for iter := uint(0); ; iter++ {
 		if e.broken() {
 			st.at = t
+			ep.close(t)
 			return
 		}
 		if t >= e.maxCycles {
 			st.timedOut = true
 			st.at = t
+			ep.close(t)
 			return
 		}
 		if t >= epochEnd {
 			// Epoch barrier: before stepping into t's epoch, every
 			// core must have left the epochs before it.
 			target := t - t%e.quantum
+			var bw0 time.Time
+			if ep != nil {
+				bw0 = time.Now()
+			}
 			if !e.waitReach(target) {
 				continue // released by abort/interrupt: re-check flags
 			}
 			epochEnd = target + e.quantum
+			if ep != nil {
+				ep.barrier(target, bw0)
+			}
 		}
 		c.Step(t)
 		if c.Done() {
+			ep.close(t)
 			return
 		}
 		nt := t + 1
@@ -267,12 +323,81 @@ func (e *engine) runCore(i int, c sim.Core, st *coreStop) {
 		}
 		e.publish(i, nt)
 		t = nt
-		if e.interrupt != nil && iter&255 == 0 {
-			select {
-			case <-e.interrupt:
-				e.stop.Store(true)
-			default:
+		if poll && iter&255 == 0 {
+			if e.prog != nil {
+				// Each core publishes its own retired count (reading a
+				// live neighbour's would race); core 0 sums and ticks.
+				e.prog[i].v.Store(c.Retired())
+				if i == 0 {
+					var sum uint64
+					for j := range e.prog {
+						sum += e.prog[j].v.Load()
+					}
+					e.hb.Tick(sum)
+				}
+			}
+			if e.interrupt != nil {
+				select {
+				case <-e.interrupt:
+					e.stop.Store(true)
+				default:
+				}
 			}
 		}
 	}
+}
+
+// epochTrack is one core's per-epoch timing accumulator, allocated only
+// when tracing is on. Methods on a nil *epochTrack no-op, mirroring the
+// obs package's nil-safety so the stepping loop stays branch-light.
+type epochTrack struct {
+	e          *engine
+	core       int
+	epochStart time.Time
+	baseWait   int64
+	baseEnters uint64
+}
+
+// barrier closes the epoch that ended at the barrier: the span covers
+// this core's stepping plus its barrier wait, with args splitting the
+// wall time into step, barrier-wait and gate-wait components.
+func (ep *epochTrack) barrier(cycle int64, bw0 time.Time) {
+	now := time.Now()
+	ep.emit(cycle, now, now.Sub(bw0).Nanoseconds())
+}
+
+// close emits the final partial epoch when the core finishes or stops.
+func (ep *epochTrack) close(cycle int64) {
+	if ep == nil {
+		return
+	}
+	ep.emit(cycle, time.Now(), 0)
+}
+
+// emit records one epoch span and re-bases the accumulators.
+func (ep *epochTrack) emit(cycle int64, now time.Time, barrierNS int64) {
+	wait := ep.e.times[ep.core].waitNS.Load()
+	enters := ep.e.times[ep.core].enters.Load()
+	total := now.Sub(ep.epochStart).Nanoseconds()
+	gateNS := wait - ep.baseWait
+	stepNS := total - barrierNS - gateNS
+	if stepNS < 0 {
+		stepNS = 0
+	}
+	ep.e.tr.Add(obs.SpanRec{
+		Name:    "epoch",
+		TID:     ep.core,
+		StartUS: ep.e.tr.Since(ep.epochStart),
+		DurUS:   total / 1e3,
+		Args: map[string]int64{
+			"cycle":       cycle,
+			"step_ns":     stepNS,
+			"barrier_ns":  barrierNS,
+			"gate_ns":     gateNS,
+			"gate_enters": int64(enters - ep.baseEnters),
+		},
+	})
+	ep.epochStart = now
+	ep.baseWait = wait
+	ep.baseEnters = enters
 }

@@ -1,0 +1,94 @@
+package parsim_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/multicore"
+	"repro/internal/obs"
+	"repro/internal/parsim"
+)
+
+// TestTracingPreservesIdentity is the acceptance contract for
+// observability: with a tracer and heartbeat attached, the parallel
+// engine's report.JSON must remain byte-identical to the sequential
+// driver's at every GOMAXPROCS level. Tracing measures host wall-clock
+// only — it must never perturb simulated state.
+func TestTracingPreservesIdentity(t *testing.T) {
+	const insts, warm = 6_000, 20_000
+	cfg := multicore.RunConfig{
+		Machine:     config.Default(4),
+		Model:       multicore.Interval,
+		WarmupInsts: warm,
+		KeepCores:   true,
+	}
+	s, w := mixStreams(4, insts)
+	cfgSeq := cfg
+	cfgSeq.Warmup = w
+	want := seqJSON(t, cfgSeq, s)
+
+	for _, procs := range gomaxprocsLevels() {
+		prev := runtime.GOMAXPROCS(procs)
+		s, w := mixStreams(4, insts)
+		cfgPar := cfg
+		cfgPar.Warmup = w
+		cfgPar.Trace = obs.NewTracer(0)
+		cfgPar.Heartbeat = &obs.Heartbeat{Emit: func(obs.Progress) {}}
+		got := parJSON(t, cfgPar, parsim.Config{}, s)
+		runtime.GOMAXPROCS(prev)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("GOMAXPROCS=%d: traced parallel report differs from sequential:\n%s\n--\n%s",
+				procs, want, got)
+		}
+	}
+}
+
+// TestTracingEmitsEpochSpans: a traced parallel run records warmup,
+// measure and per-core epoch spans with the step/barrier/gate split.
+func TestTracingEmitsEpochSpans(t *testing.T) {
+	const insts, warm = 6_000, 20_000
+	tr := obs.NewTracer(0)
+	cfg := multicore.RunConfig{
+		Machine:     config.Default(4),
+		Model:       multicore.Interval,
+		WarmupInsts: warm,
+		Trace:       tr,
+	}
+	s, w := mixStreams(4, insts)
+	cfg.Warmup = w
+	var stats parsim.Stats
+	if _, ok := parsim.Run(cfg, parsim.Config{Quantum: 512, Stats: &stats}, s); !ok {
+		t.Fatal("parallel run aborted unexpectedly")
+	}
+	if stats.EpochBarriers == 0 {
+		t.Fatal("no epoch barriers counted on a multi-epoch run")
+	}
+
+	var warmups, measures, epochs int
+	coresSeen := map[int]bool{}
+	for _, sp := range tr.Spans() {
+		switch sp.Name {
+		case "warmup":
+			warmups++
+		case "measure":
+			measures++
+		case "epoch":
+			epochs++
+			coresSeen[sp.TID] = true
+			if _, ok := sp.Args["barrier_ns"]; !ok {
+				t.Fatalf("epoch span missing barrier_ns: %+v", sp)
+			}
+			if _, ok := sp.Args["gate_ns"]; !ok {
+				t.Fatalf("epoch span missing gate_ns: %+v", sp)
+			}
+		}
+	}
+	if warmups != 1 || measures != 1 {
+		t.Fatalf("want 1 warmup + 1 measure span, got %d + %d", warmups, measures)
+	}
+	if epochs < 4 || len(coresSeen) != 4 {
+		t.Fatalf("want epoch spans from all 4 cores, got %d spans over %d cores", epochs, len(coresSeen))
+	}
+}

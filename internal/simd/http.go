@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/simrun"
 	"repro/internal/workload"
@@ -39,9 +41,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -120,7 +130,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams job-status transitions as server-sent events: one
 // "status" event per transition, starting with the current state, ending
-// after the terminal state.
+// after the terminal state. Live heartbeats from the running simulation
+// arrive between transitions as "progress" events carrying the same
+// document shape (the progress field is what changed).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -138,6 +150,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 
 	events := job.Subscribe()
+	last := ""
 	for {
 		select {
 		case doc, open := <-events:
@@ -148,7 +161,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			fmt.Fprintf(w, "event: status\ndata: %s\n\n", raw)
+			// A document whose status and tier match the previous event
+			// is a heartbeat, not a transition.
+			event := "status"
+			if key := string(doc.Status) + "|" + doc.Tier; key == last && doc.Progress != nil {
+				event = "progress"
+			} else {
+				last = key
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
 			flusher.Flush()
 		case <-r.Context().Done():
 			return
@@ -203,40 +224,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleMetrics serves Prometheus-style text counters: service traffic,
-// queue occupancy and the result cache's hit/miss/dedup counts.
+// handleMetrics serves the Prometheus text exposition: the server's own
+// registry (service traffic, queue occupancy, result-cache counters)
+// merged with the process-wide registry (per-engine runs and wall-clock
+// histograms, parsim counters, batch occupancy). Every family carries a
+// correct `# TYPE` line — the registry knows each metric's kind, unlike
+// the hand-rolled exporter this replaced.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cs := s.CacheStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	counters := []struct {
-		name  string
-		help  string
-		value uint64
-	}{
-		{"simd_jobs_submitted_total", "Jobs accepted (new scenarios).", s.submitted.Load()},
-		{"simd_jobs_deduplicated_total", "Submissions joined onto an existing job.", s.deduped.Load()},
-		{"simd_jobs_rejected_total", "Submissions rejected because the queue was full.", s.rejected.Load()},
-		{"simd_jobs_completed_total", "Jobs finished successfully.", s.completed.Load()},
-		{"simd_jobs_failed_total", "Jobs that errored.", s.failed.Load()},
-		{"simd_queue_depth", "Jobs waiting for a worker.", uint64(s.QueueLen())},
-		{"simd_cache_runs_total", "Simulator executions (cache misses).", cs.Runs},
-		{"simd_cache_hits_total", "In-memory result-cache hits.", cs.Hits},
-		{"simd_cache_disk_hits_total", "Persistent-store hits.", cs.DiskHits},
-		{"simd_cache_flight_waits_total", "Callers that piggybacked on an in-flight run.", cs.Waits},
-		{"simd_cache_upgrades_total", "Cache entries upgraded in place to a higher tier.", cs.Upgrades},
-		{"simd_tier_fast_answers_total", "Jobs answered below full fidelity.", s.fast.Load()},
-		{"simd_tier_upgrades_total", "Background full-fidelity upgrades that landed.", s.upgraded.Load()},
-	}
-	for _, c := range counters {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
-			c.name, c.help, c.name, metricType(c.name), c.name, c.value)
-	}
+	obs.WriteAll(w, s.reg, obs.Default())
 }
 
-// metricType distinguishes the one gauge from the counters.
-func metricType(name string) string {
-	if name == "simd_queue_depth" {
-		return "gauge"
+// handleTrace serves the job's recorded lifecycle spans (queue wait,
+// engine runs, cache store, tier upgrade) as JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("simd: no such job"))
+		return
 	}
-	return "counter"
+	tr := job.Tracer()
+	spans := tr.Spans()
+	if spans == nil {
+		spans = []obs.SpanRec{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":     job.Doc().ID,
+		"spans":   spans,
+		"dropped": tr.Dropped(),
+	})
 }

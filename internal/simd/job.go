@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/simrun"
 )
 
@@ -40,6 +41,10 @@ type JobDoc struct {
 	Tier        string          `json:"tier,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
+	// Progress is the latest live heartbeat from the running simulation
+	// (nil until the run has been going long enough to report). It is
+	// presentation only — never part of Result's bytes.
+	Progress *obs.Progress `json:"progress,omitempty"`
 }
 
 // Job is one submitted scenario making its way through the queue. Jobs
@@ -50,6 +55,10 @@ type Job struct {
 	fingerprint string
 	spec        simrun.Spec
 	scenario    *simrun.Scenario
+	// tracer records the job's lifecycle spans (queue wait, engine runs,
+	// cache store, upgrade) into a bounded ring served at
+	// GET /v1/jobs/{id}/trace.
+	tracer *obs.Tracer
 
 	mu      sync.Mutex
 	status  Status
@@ -57,8 +66,12 @@ type Job struct {
 	tier    simrun.Tier
 	errMsg  string
 	payload []byte
-	subs    []chan JobDoc
-	done    chan struct{}
+	// qspan is the open queue-wait span, ended when a worker picks the
+	// job up.
+	qspan    *obs.Span
+	progress *obs.Progress
+	subs     []chan JobDoc
+	done     chan struct{}
 	// upgradePending marks a job answered below full fidelity whose
 	// background upgrade is still in flight: the terminal transition
 	// keeps subscriptions open so the upgrade is delivered as one final
@@ -67,15 +80,63 @@ type Job struct {
 }
 
 func newJob(id, fingerprint string, spec simrun.Spec, sc *simrun.Scenario) *Job {
-	return &Job{
+	j := &Job{
 		id:          id,
 		fingerprint: fingerprint,
 		spec:        spec,
 		scenario:    sc,
+		tracer:      obs.NewTracer(0),
 		status:      StatusQueued,
 		done:        make(chan struct{}),
 	}
+	j.qspan = j.tracer.Start("queue")
+	// The observer rides the scenario (and every ForEngine copy), so the
+	// dispatcher's engine spans and the driver's heartbeats land on this
+	// job. Observability never enters the fingerprint, so the content
+	// address computed above is unaffected.
+	if sc != nil {
+		sc.SetObserver(&obs.Observer{Tracer: j.tracer, Progress: j.setProgress})
+	}
+	return j
 }
+
+// Tracer is the job's span ring (the /v1/jobs/{id}/trace payload).
+func (j *Job) Tracer() *obs.Tracer { return j.tracer }
+
+// pickup ends the queue-wait span; called when a worker takes the job.
+func (j *Job) pickup() {
+	j.mu.Lock()
+	sp := j.qspan
+	j.qspan = nil
+	j.mu.Unlock()
+	sp.End()
+}
+
+// setProgress records a heartbeat and notifies subscribers — but only
+// when a subscription has spare buffer beyond what the remaining status
+// transitions need: progress is best-effort decoration and must never
+// crowd out a status event.
+func (j *Job) setProgress(p obs.Progress) {
+	j.mu.Lock()
+	j.progress = &p
+	doc := j.docLocked()
+	subs := append([]chan JobDoc(nil), j.subs...)
+	j.mu.Unlock()
+
+	for _, ch := range subs {
+		if cap(ch)-len(ch) > maxStatusEvents {
+			select {
+			case ch <- doc:
+			default:
+			}
+		}
+	}
+}
+
+// maxStatusEvents is the most status transitions a subscriber can still
+// have in flight after subscribing (running, done, upgrade settle);
+// progress sends always leave this much headroom.
+const maxStatusEvents = 3
 
 // Doc snapshots the job for serving.
 func (j *Job) Doc() JobDoc {
@@ -94,6 +155,7 @@ func (j *Job) docLocked() JobDoc {
 		Tier:        string(j.tier),
 		Error:       j.errMsg,
 		Result:      j.payload,
+		Progress:    j.progress,
 	}
 }
 

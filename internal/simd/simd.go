@@ -13,10 +13,11 @@
 //	POST /v1/jobs            submit a simrun.Spec; 202 + job doc (200 if deduplicated)
 //	GET  /v1/jobs            list job ids and statuses
 //	GET  /v1/jobs/{id}       job status/result document
-//	GET  /v1/jobs/{id}/events  SSE stream of job-status transitions
+//	GET  /v1/jobs/{id}/events  SSE stream of job-status transitions and progress heartbeats
+//	GET  /v1/jobs/{id}/trace   the job's recorded lifecycle spans (queue, engine runs, upgrade)
 //	GET  /v1/catalog         registered models, knob sets, benchmark profiles
 //	GET  /healthz            liveness (503 while draining)
-//	GET  /metrics            Prometheus-style counters
+//	GET  /metrics            Prometheus text exposition (server registry merged with obs.Default)
 //
 // Jobs are content-addressed: the job ID derives from the scenario
 // fingerprint, so two identical submissions share one job, and the
@@ -30,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/simrun"
 )
 
@@ -59,6 +61,10 @@ type Config struct {
 	// tiered or not. Build the cache with DecodeTier so a restart never
 	// serves a persisted estimate as definitive.
 	TieredServing bool
+	// Pprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+	// service handler. Off by default: profiling endpoints expose host
+	// internals and cost nothing when unmounted.
+	Pprof bool
 }
 
 // Server is the service state: job table, bounded queue, worker pool and
@@ -69,6 +75,8 @@ type Server struct {
 	workers int
 	maxJobs int
 	tiered  bool
+	pprof   bool
+	reg     *obs.Registry
 
 	// runCtx gates in-flight simulations: Drain cancels it only when
 	// its own context expires, turning a graceful drain into a hard
@@ -122,11 +130,14 @@ func New(cfg Config) (*Server, error) {
 		workers:   workers,
 		maxJobs:   maxJobs,
 		tiered:    cfg.TieredServing,
+		pprof:     cfg.Pprof,
+		reg:       obs.NewRegistry(),
 		runCtx:    ctx,
 		runCancel: cancel,
 		jobs:      map[string]*Job{},
 		byFP:      map[string]*Job{},
 	}
+	s.registerMetrics()
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go s.worker()
@@ -147,6 +158,7 @@ func (s *Server) worker() {
 // the cheapest supporting tier first, with the full run upgrading the job
 // and cache entry in the background.
 func (s *Server) process(job *Job) {
+	job.pickup()
 	job.setStatus(StatusRunning, "", "", nil, "")
 	if s.tiered && !job.scenario.EnginePinned() && s.processTiered(job) {
 		return
@@ -211,6 +223,11 @@ func (s *Server) processTiered(job *Job) bool {
 func (s *Server) upgradeJob(job *Job) {
 	defer s.wg.Done()
 	entry, err := s.cache.GetOrRun(s.runCtx, job.scenario)
+	// The "upgrade" span covers only the settle: the full run itself is
+	// already traced as its own engine span, so the job's trace reads
+	// queue → engine:<cheap> → engine:full → upgrade.
+	sp := job.tracer.Start("upgrade")
+	defer sp.End()
 	if err != nil {
 		job.settle("", "", nil)
 		return

@@ -40,6 +40,11 @@ func Batch(ctx context.Context, scenarios []*Scenario, opts BatchOpts) []BatchRe
 	if len(scenarios) == 0 {
 		return results
 	}
+	// Queue-occupancy gauges: pending drops as workers pick scenarios
+	// up, running tracks in-flight simulations. Both return to zero
+	// when the batch ends.
+	obsMetrics()
+	mBatchPending.Add(int64(len(scenarios)))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -59,7 +64,10 @@ func Batch(ctx context.Context, scenarios []*Scenario, opts BatchOpts) []BatchRe
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
+				mBatchPending.Add(-1)
+				mBatchRunning.Add(1)
 				results[idx] = runOne(ctx, scenarios[idx], opts.Timeout)
+				mBatchRunning.Add(-1)
 				if opts.Progress != nil {
 					mu.Lock()
 					done++

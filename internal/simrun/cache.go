@@ -272,9 +272,11 @@ func (c *Cache) runAndStore(ctx context.Context, key string, s *Scenario) (Cache
 	// a lower-tier result arriving after a higher one — a statistical
 	// estimate racing an already-landed full run — must not clobber the
 	// better persisted answer.
+	sp := s.tracer().Start("cache:store")
 	if c.store(key, res, entry.Payload, res.Tier) {
 		c.storeDisk(key, entry.Payload)
 	}
+	sp.End()
 	return entry, nil
 }
 
@@ -293,6 +295,8 @@ func (c *Cache) store(key string, res Result, payload []byte, tier Tier) bool {
 		}
 		slot.tier, slot.result, slot.payload = tier, res, payload
 		c.upgrades.Add(1)
+		obsMetrics()
+		mCacheUpgrades.Inc()
 		return true
 	}
 	el := c.lru.PushFront(&cacheSlot{key: key, tier: tier, result: res, payload: payload})

@@ -2,10 +2,12 @@ package simrun
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/memhier"
 	"repro/internal/multicore"
+	"repro/internal/obs"
 	"repro/internal/parsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -72,12 +74,23 @@ func (s *Scenario) buildStreams() (streams, warm []trace.Stream) {
 // result with the engine name and its fidelity tier. Cancelling ctx
 // interrupts the simulation at the next driver poll and returns ctx's
 // error alongside the partial result.
+//
+// Every dispatch is observable: the run is counted and its wall clock
+// recorded per engine in obs.Default(), and when the scenario carries
+// an observer, the whole engine run is bracketed in an "engine:<name>"
+// span. Both are per-run costs, never per-cycle.
 func (s *Scenario) Run(ctx context.Context) (Result, error) {
 	eng, err := LookupEngine(s.EngineName())
 	if err != nil {
 		return Result{Scenario: s}, err
 	}
+	runs, wall := engineMetrics(eng.Name)
+	sp := s.tracer().Start("engine:" + eng.Name)
+	t0 := time.Now()
 	res, err := eng.Run(ctx, s)
+	wall.Observe(time.Since(t0).Seconds())
+	runs.Inc()
+	sp.End()
 	res.Scenario = s
 	res.Engine = eng.Name
 	res.Tier = eng.Tier(s)
@@ -109,6 +122,8 @@ func (s *Scenario) runFull(ctx context.Context) (Result, error) {
 		Warmup:      warm,
 		Ablation:    s.ablation,
 		Interrupt:   ctx.Done(),
+		Trace:       s.tracer(),
+		Heartbeat:   s.heartbeat(),
 		NewCore: func(i int, bp *branch.Unit, mem *memhier.Hierarchy, stream trace.Stream, coord sim.Syncer) sim.Core {
 			return factory(CoreParams{
 				ID:       i,
@@ -134,6 +149,8 @@ func (s *Scenario) runFull(ctx context.Context) (Result, error) {
 		// parallel run aborted before committing anything the caller
 		// can see. Rerun sequentially from fresh streams (generators
 		// are stateful), which reproduces the canonical result.
+		obsMetrics()
+		mFallbacks.Inc()
 		streams, warm = s.buildStreams()
 		cfg.Warmup = warm
 	}
@@ -142,6 +159,25 @@ func (s *Scenario) runFull(ctx context.Context) (Result, error) {
 		return res, ctx.Err()
 	}
 	return res, nil
+}
+
+// heartbeat builds the driver's live-progress sink from the attached
+// observer: nil (free) when no observer or no progress callback is
+// attached. The tier reported is the full engine's — runFull is the
+// definitive simulation; estimator engines answer too fast for
+// progress to matter.
+func (s *Scenario) heartbeat() *obs.Heartbeat {
+	o := s.obsv
+	if o == nil || o.Progress == nil {
+		return nil
+	}
+	return &obs.Heartbeat{
+		Emit:   o.Progress,
+		Every:  o.ProgressEvery,
+		Label:  s.Name(),
+		Tier:   string(fullTier(s)),
+		Budget: s.TotalInstBudget(),
+	}
 }
 
 // useHostParallel reports whether the scenario should attempt the

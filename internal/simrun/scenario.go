@@ -28,6 +28,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/memhier"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -64,6 +65,13 @@ type Scenario struct {
 	quantum    int64
 	streams    []trace.Stream
 	warmStream []trace.Stream
+
+	// obsv holds the attached observability sinks (span tracer,
+	// progress callback). It is a host-side concern: deliberately
+	// absent from the fingerprint (like hostpar/quantum) and carried
+	// along by ForEngine's copy so tiered serving traces the whole
+	// lifecycle of one job through one tracer.
+	obsv *obs.Observer
 
 	// Resolved at New time.
 	profile *workload.Profile // nil when streams or mix are explicit
@@ -243,6 +251,37 @@ func (s *Scenario) WarmupBudget() int { return s.warmup }
 
 // SeedValue is the deterministic workload seed (the Seed option).
 func (s *Scenario) SeedValue() int64 { return s.seed }
+
+// Observer returns the attached observability sinks (nil = none).
+func (s *Scenario) Observer() *obs.Observer { return s.obsv }
+
+// SetObserver attaches observability sinks after construction — the
+// path for serving layers that build scenarios from wire specs and
+// then instrument them per job. Equivalent to the Observe option.
+func (s *Scenario) SetObserver(o *obs.Observer) { s.obsv = o }
+
+// tracer is the attached span tracer; nil (and therefore free) when no
+// observer is attached.
+func (s *Scenario) tracer() *obs.Tracer { return s.obsv.ObsTracer() }
+
+// TotalInstBudget is the scenario's total instruction budget summed
+// across cores, when known: the denominator live-progress reports use
+// for completion ratio and ETA. Zero for explicit streams (their
+// length is unknowable up front).
+func (s *Scenario) TotalInstBudget() uint64 {
+	switch {
+	case s.streams != nil:
+		return 0
+	case s.profile != nil && s.profile.MultiThreaded():
+		w := float64(s.profile.TotalWork)
+		if s.scale > 0 {
+			w *= s.scale
+		}
+		return uint64(w)
+	default:
+		return uint64(s.insts) * uint64(s.Threads())
+	}
+}
 
 // ResolvedMachine returns the machine configuration the scenario will
 // simulate: the explicit Machine base (or the Table 1 default sized to
@@ -538,6 +577,16 @@ func EpochQuantum(q int64) Option {
 		s.quantum = q
 		return nil
 	}
+}
+
+// Observe attaches observability sinks — a span tracer for lifecycle
+// and engine spans, and a throttled progress callback — to the
+// scenario. Observability is strictly host-side: it never enters the
+// scenario fingerprint, never alters simulated results or report
+// payloads, and a scenario without an observer pays nothing (every
+// hook is a nil-check no-op).
+func Observe(o *obs.Observer) Option {
+	return func(s *Scenario) error { s.obsv = o; return nil }
 }
 
 // Machine replaces the Table 1 default with m as the base machine (its
