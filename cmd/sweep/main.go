@@ -27,15 +27,24 @@
 // space, and only the -top fraction (plus any point the cheap tier cannot
 // run) is re-simulated at full fidelity. The table reports both numbers
 // and the tier that produced each final answer.
+//
+// -fleet http://host:8080 submits the -f batch to a simd service (or
+// fleet coordinator — see docs/fleet.md) instead of simulating locally:
+// -j then bounds in-flight submissions, transient HTTP failures retry
+// with capped backoff, and the table reports which worker answered each
+// point. Results are byte-identical to the local run — the service runs
+// the same engines over the same wire specs.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -45,8 +54,10 @@ import (
 	// Register the estimator engines for -adaptive and for spec files
 	// that pin "engine".
 	_ "repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/report"
 	"repro/internal/simrun"
 )
 
@@ -68,6 +79,7 @@ func main() {
 		hostpar  = flag.Int("hostpar", 0, "host-parallel engine per scenario: one goroutine per simulated core (0 = sequential; results are bit-identical)")
 		adaptive = flag.Bool("adaptive", false, "estimate every point with the statistical engine first, then spend full fidelity on the top fraction")
 		top      = flag.Float64("top", 0.25, "with -adaptive, the fraction of the space promoted to full fidelity")
+		fleetURL = flag.String("fleet", "", "submit the -f batch to the simd service at this base URL instead of simulating locally")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (written on normal exit)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on normal exit")
@@ -133,6 +145,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "sweep: %s\n", p)
 			}
 		}
+	}
+	if *fleetURL != "" {
+		// Only declarative batches can travel: built-in grid sweeps tweak
+		// machines with Go closures, which have no wire form.
+		if *file == "" {
+			fmt.Fprintln(os.Stderr, "sweep: -fleet needs a declarative batch: add -f <specfile>")
+			exitWith(2)
+		}
+		if *adaptive {
+			fmt.Fprintln(os.Stderr, "sweep: -adaptive is a local two-phase runner; submit to a -tiered simd instead of combining it with -fleet")
+			exitWith(2)
+		}
+		s.sweepFleet(*file, *fleetURL)
+		return
 	}
 	if *file != "" {
 		s.sweepFile(*file)
@@ -335,6 +361,106 @@ func (s *sweeper) sweepFile(path string) {
 		}
 		fmt.Printf("%-28s %-10s %6d %12d %10.3f\n",
 			r.Scenario.Name(), res.ModelLabel(), r.Scenario.Threads(), res.Cycles, ipc)
+	}
+}
+
+// sweepFleet submits the declarative batch to a remote simd service and
+// prints one row per scenario, including the worker that answered when
+// the service runs a fleet. Submissions fan out across -j goroutines;
+// each one retries transient HTTP failures (5xx, backpressure,
+// connection refused/reset) under the client's capped, jittered backoff.
+func (s *sweeper) sweepFleet(path, base string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exitWith(2)
+	}
+	seed := s.seed
+	specs, err := simrun.LoadRawSpecs(f, simrun.Spec{Insts: s.insts, Warmup: s.warm, Seed: &seed, HostPar: s.hostpar})
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", path, err)
+		exitWith(2)
+	}
+
+	type row struct {
+		name, model, tier, worker string
+		cycles                    int64
+		ipc                       float64
+		err                       error
+	}
+	rows := make([]row, len(specs))
+	cl := &fleet.Client{Base: base}
+	workers := s.jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sp := specs[i]
+				r := row{name: fleetSpecName(sp)}
+				res, err := cl.SubmitAndWait(s.ctx, sp)
+				if err == nil {
+					var sum report.Summary
+					err = json.Unmarshal(res.Payload, &sum)
+					r.model, r.tier, r.worker = sum.Model, res.Tier, res.Worker
+					r.cycles = sum.Cycles
+					if sum.Cycles > 0 {
+						r.ipc = float64(sum.Instructions) / float64(sum.Cycles)
+					}
+				}
+				r.err = err
+				rows[i] = r
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, r := range rows {
+		if errors.Is(r.err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sweep: interrupted")
+			exitWith(130)
+		}
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", r.name, r.err)
+			exitWith(1)
+		}
+	}
+	fmt.Printf("== scenario batch: %s via %s (%d scenarios) ==\n", path, base, len(specs))
+	fmt.Printf("%-28s %-10s %-12s %-14s %12s %10s\n", "scenario", "model", "tier", "worker", "cycles", "IPC")
+	for _, r := range rows {
+		tier, worker := r.tier, r.worker
+		if tier == "" {
+			tier = "-"
+		}
+		if worker == "" {
+			worker = "-"
+		}
+		fmt.Printf("%-28s %-10s %-12s %-14s %12d %10.3f\n", r.name, r.model, tier, worker, r.cycles, r.ipc)
+	}
+}
+
+// fleetSpecName labels one wire spec in the fleet table and in errors.
+func fleetSpecName(sp simrun.Spec) string {
+	switch {
+	case sp.Label != "":
+		return sp.Label
+	case sp.Bench != "":
+		return sp.Bench
+	default:
+		return "mix:" + strings.Join(sp.Mix, "+")
 	}
 }
 

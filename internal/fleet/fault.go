@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultInjector is the fleet's deterministic chaos seam. Each hook is
+// consulted at one fixed point in the worker (before sending a
+// heartbeat; on receipt of a run request), and fires on exact,
+// pre-armed occurrence counts — no randomness, so a chaos test asserts
+// a specific recovery path and gets the same schedule every run.
+//
+// A nil *FaultInjector injects nothing; every method is nil-safe, so
+// production wiring passes nil and pays a pointer test.
+type FaultInjector struct {
+	mu sync.Mutex
+
+	dropBeats  int // heartbeats still to drop; -1 = all future ones
+	killAtRun  int // 1-based run-request ordinal to die at; 0 = never
+	corruptRun int // 1-based run-response ordinal to corrupt; 0 = never
+	delay      time.Duration
+
+	runs         int // run requests observed
+	beatsDropped int
+}
+
+// DropHeartbeats arms the injector to swallow the worker's next n
+// heartbeats (n < 0: every future one — the worker goes silent and its
+// leases expire).
+func (f *FaultInjector) DropHeartbeats(n int) {
+	f.mu.Lock()
+	f.dropBeats = n
+	f.mu.Unlock()
+}
+
+// KillAtRun arms the injector to kill the worker when it receives its
+// n-th run request (1-based): the connection is severed mid-request and
+// the worker stops heartbeating, exactly what a crashed node looks like
+// from the coordinator.
+func (f *FaultInjector) KillAtRun(n int) {
+	f.mu.Lock()
+	f.killAtRun = n
+	f.mu.Unlock()
+}
+
+// CorruptAtRun arms the injector to flip a byte in the payload of the
+// worker's n-th run response (1-based). The integrity checksum still
+// describes the true payload, so the coordinator detects the corruption
+// and re-dispatches instead of caching garbage.
+func (f *FaultInjector) CorruptAtRun(n int) {
+	f.mu.Lock()
+	f.corruptRun = n
+	f.mu.Unlock()
+}
+
+// DelayResults makes every run response sit on the wire for d before
+// delivery — long enough a delay, and the job's lease expires first.
+func (f *FaultInjector) DelayResults(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// dropBeat is consulted by the worker's heartbeat loop; true means this
+// heartbeat is swallowed.
+func (f *FaultInjector) dropBeat() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropBeats == 0 {
+		return false
+	}
+	if f.dropBeats > 0 {
+		f.dropBeats--
+	}
+	f.beatsDropped++
+	return true
+}
+
+// onRun is consulted once per run request and returns the faults to
+// inject into this one: kill the worker, corrupt the response payload,
+// and/or delay the response.
+func (f *FaultInjector) onRun() (kill, corrupt bool, delay time.Duration) {
+	if f == nil {
+		return false, false, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.runs++
+	return f.killAtRun > 0 && f.runs == f.killAtRun,
+		f.corruptRun > 0 && f.runs == f.corruptRun,
+		f.delay
+}
+
+// BeatsDropped reports how many heartbeats the injector swallowed.
+func (f *FaultInjector) BeatsDropped() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.beatsDropped
+}
+
+// ParseFaults builds an injector from a comma-separated chaos spec (the
+// cmd/simd -chaos flag):
+//
+//	kill-run=N          die on the N-th run request
+//	corrupt-run=N       corrupt the N-th run response
+//	drop-heartbeats=N   swallow the next N heartbeats ("all" = forever)
+//	delay-result=DUR    delay every run response by DUR (e.g. 250ms)
+//
+// An empty spec returns nil — no injector at all.
+func ParseFaults(spec string) (*FaultInjector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	f := &FaultInjector{}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("fleet: bad chaos term %q (want key=value)", part)
+		}
+		switch key {
+		case "kill-run", "corrupt-run":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fleet: chaos %s wants a run ordinal >= 1, got %q", key, val)
+			}
+			if key == "kill-run" {
+				f.KillAtRun(n)
+			} else {
+				f.CorruptAtRun(n)
+			}
+		case "drop-heartbeats":
+			if val == "all" {
+				f.DropHeartbeats(-1)
+				continue
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fleet: chaos drop-heartbeats wants a count >= 1 or \"all\", got %q", val)
+			}
+			f.DropHeartbeats(n)
+		case "delay-result":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fleet: chaos delay-result wants a duration, got %q", val)
+			}
+			f.DelayResults(d)
+		default:
+			return nil, fmt.Errorf("fleet: unknown chaos term %q (want kill-run, corrupt-run, drop-heartbeats or delay-result)", key)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/url"
+	"syscall"
+	"time"
+)
+
+// Backoff is a capped exponential backoff with deterministic jitter:
+// the delay for (key, attempt) is a pure function of both, so tests —
+// and reruns of the same job — see the same schedule while distinct
+// jobs still spread their retries instead of thundering in lockstep.
+type Backoff struct {
+	// Base is the first delay (default 50ms); each attempt doubles it.
+	Base time.Duration
+	// Cap bounds the delay before jitter (default 2s).
+	Cap time.Duration
+	// Attempts is the most tries Retry makes (default 5).
+	Attempts int
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 50 * time.Millisecond
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return 2 * time.Second
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 5
+}
+
+// Delay is the wait before retry number attempt (1-based: the delay
+// taken after the first failure is Delay(key, 1)). Jitter scales the
+// exponential delay by a factor in [0.5, 1.5) drawn from a hash of
+// (key, attempt) — deterministic, but decorrelated across jobs.
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	d := b.base()
+	for i := 1; i < attempt && d < b.cap(); i++ {
+		d *= 2
+	}
+	if d > b.cap() {
+		d = b.cap()
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	fmt.Fprintf(h, "#%d", attempt)
+	factor := 0.5 + float64(h.Sum64()%1024)/1024
+	return time.Duration(float64(d) * factor)
+}
+
+// Retry runs op until it succeeds, fails permanently, or the attempt
+// budget is spent, sleeping the jittered backoff between tries. op
+// reports whether its error is worth retrying; a false return (or a nil
+// error) ends the loop immediately. Cancelling ctx ends the loop at the
+// next sleep and returns ctx's error wrapped around the last failure.
+func (b Backoff) Retry(ctx context.Context, key string, op func() (retry bool, err error)) error {
+	var last error
+	for attempt := 1; ; attempt++ {
+		retry, err := op()
+		if err == nil || !retry || attempt >= b.attempts() {
+			return err
+		}
+		last = err
+		select {
+		case <-time.After(b.Delay(key, attempt)):
+		case <-ctx.Done():
+			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), last)
+		}
+	}
+}
+
+// TransientStatus reports whether an HTTP status is worth retrying:
+// server-side failures and backpressure, never client errors — a 400
+// spec stays wrong no matter how often it is resubmitted.
+func TransientStatus(status int) bool {
+	return status >= 500 || status == 429
+}
+
+// TransientErr reports whether a transport error is worth retrying:
+// connection refused/reset, timeouts, and abrupt connection death (the
+// signature of a worker killed mid-request). Context cancellation is
+// never transient — the caller is shutting the attempt down.
+func TransientErr(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Err != nil {
+		err = ue.Err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}

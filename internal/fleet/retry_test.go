@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayDeterministicCappedJittered(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second}
+	for attempt := 1; attempt <= 10; attempt++ {
+		d1 := b.Delay("job-a", attempt)
+		d2 := b.Delay("job-a", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		// Jitter scales the exponential delay by [0.5, 1.5); the hard
+		// ceiling is therefore 1.5x the cap.
+		if d1 >= 3*time.Second {
+			t.Fatalf("attempt %d: delay %v above the jittered cap", attempt, d1)
+		}
+		if d1 <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, d1)
+		}
+	}
+	if b.Delay("job-a", 1) == b.Delay("job-b", 1) {
+		t.Error("distinct keys produced identical jitter — retries would thunder in lockstep")
+	}
+	// Late attempts saturate at the cap (before jitter): two far-out
+	// attempts differ only by jitter, staying within [0.5, 1.5) of Cap.
+	for _, attempt := range []int{9, 10} {
+		d := b.Delay("job-a", attempt)
+		if d < time.Second || d >= 3*time.Second {
+			t.Errorf("attempt %d: delay %v escaped the cap window", attempt, d)
+		}
+	}
+}
+
+func TestRetryStopsOnPermanentAndBudget(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond, Attempts: 3}
+
+	calls := 0
+	err := b.Retry(context.Background(), "k", func() (bool, error) {
+		calls++
+		return false, errors.New("permanent")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("permanent failure: err=%v calls=%d, want 1 call", err, calls)
+	}
+
+	calls = 0
+	err = b.Retry(context.Background(), "k", func() (bool, error) {
+		calls++
+		return true, fmt.Errorf("transient %d", calls)
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("budget: err=%v calls=%d, want 3 calls", err, calls)
+	}
+
+	calls = 0
+	if err := b.Retry(context.Background(), "k", func() (bool, error) {
+		calls++
+		if calls < 2 {
+			return true, errors.New("transient")
+		}
+		return false, nil
+	}); err != nil || calls != 2 {
+		t.Fatalf("eventual success: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Backoff{Base: time.Minute}.Retry(ctx, "k", func() (bool, error) {
+		return true, errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	transient := []error{
+		syscall.ECONNREFUSED,
+		syscall.ECONNRESET,
+		syscall.EPIPE,
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		fmt.Errorf("wrapped: %w", syscall.ECONNREFUSED),
+	}
+	for _, err := range transient {
+		if !TransientErr(err) {
+			t.Errorf("TransientErr(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		context.Canceled,
+		context.DeadlineExceeded,
+		errors.New("bad spec"),
+	}
+	for _, err := range permanent {
+		if TransientErr(err) {
+			t.Errorf("TransientErr(%v) = true, want false", err)
+		}
+	}
+
+	for _, status := range []int{500, 502, 503, 429} {
+		if !TransientStatus(status) {
+			t.Errorf("TransientStatus(%d) = false, want true", status)
+		}
+	}
+	for _, status := range []int{200, 202, 400, 404} {
+		if TransientStatus(status) {
+			t.Errorf("TransientStatus(%d) = true, want false", status)
+		}
+	}
+}
+
+func TestFaultInjectorSchedules(t *testing.T) {
+	var nilInjector *FaultInjector
+	if nilInjector.dropBeat() {
+		t.Error("nil injector dropped a heartbeat")
+	}
+	if kill, corrupt, delay := nilInjector.onRun(); kill || corrupt || delay != 0 {
+		t.Error("nil injector injected a fault")
+	}
+
+	f := &FaultInjector{}
+	f.DropHeartbeats(2)
+	drops := 0
+	for i := 0; i < 5; i++ {
+		if f.dropBeat() {
+			drops++
+		}
+	}
+	if drops != 2 || f.BeatsDropped() != 2 {
+		t.Errorf("dropped %d beats (counter %d), want exactly 2", drops, f.BeatsDropped())
+	}
+
+	f = &FaultInjector{}
+	f.DropHeartbeats(-1)
+	for i := 0; i < 3; i++ {
+		if !f.dropBeat() {
+			t.Fatal("drop-all injector let a heartbeat through")
+		}
+	}
+
+	f = &FaultInjector{}
+	f.KillAtRun(2)
+	f.CorruptAtRun(3)
+	type hit struct{ kill, corrupt bool }
+	var got []hit
+	for i := 0; i < 3; i++ {
+		k, c, _ := f.onRun()
+		got = append(got, hit{k, c})
+	}
+	want := []hit{{false, false}, {true, false}, {false, true}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("run %d: faults %+v, want %+v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	f, err := ParseFaults("")
+	if f != nil || err != nil {
+		t.Fatalf("empty spec: (%v, %v), want (nil, nil)", f, err)
+	}
+
+	f, err = ParseFaults("kill-run=2,corrupt-run=1,drop-heartbeats=3,delay-result=250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.killAtRun != 2 || f.corruptRun != 1 || f.dropBeats != 3 || f.delay != 250*time.Millisecond {
+		t.Errorf("parsed injector %+v mismatches the spec", f)
+	}
+
+	f, err = ParseFaults("drop-heartbeats=all")
+	if err != nil || f.dropBeats != -1 {
+		t.Fatalf("drop-heartbeats=all: (%+v, %v)", f, err)
+	}
+
+	for _, bad := range []string{
+		"kill-run",           // no value
+		"kill-run=0",         // ordinal below 1
+		"corrupt-run=x",      // not a number
+		"drop-heartbeats=-2", // negative count
+		"delay-result=later", // not a duration
+		"explode-on-tuesday=1" /* unknown term */} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted a bad spec", bad)
+		}
+	}
+}

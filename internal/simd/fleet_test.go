@@ -1,0 +1,84 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/simrun"
+)
+
+// TestFleetModeZeroWorkersServesLocally: a coordinator-mode server with
+// an empty fleet must still answer every job — the coordinator degrades
+// to the local engine through the same cache — and the job document
+// records the degraded routing.
+func TestFleetModeZeroWorkersServesLocally(t *testing.T) {
+	cache, err := simrun.NewCache(simrun.CacheOpts{Encode: Encode, DecodeTier: DecodeTier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := fleet.NewCoordinator(fleet.Config{Cache: cache, LeaseTTL: 200 * time.Millisecond, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, Cache: cache, Fleet: coord})
+
+	doc, status := postJob(t, ts, specGCC)
+	if status != 202 {
+		t.Fatalf("submit status = %d", status)
+	}
+	doc = waitDone(t, s, doc.ID)
+	if doc.Status != StatusDone {
+		t.Fatalf("job = %+v", doc)
+	}
+	if doc.Worker != "local" || doc.Dispatch != "local" || doc.Attempt != 1 {
+		t.Errorf("routing = worker=%q attempt=%d dispatch=%q, want the degraded local run recorded", doc.Worker, doc.Attempt, doc.Dispatch)
+	}
+
+	// Byte-identity across serving paths: the fleet-routed answer equals
+	// a plain single-node server's for the same spec.
+	plainCache, err := simrun.NewCache(simrun.CacheOpts{Encode: Encode, DecodeTier: DecodeTier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, pts := newTestServer(t, Config{Workers: 1, Cache: plainCache})
+	ref, status := postJob(t, pts, specGCC)
+	if status != 202 {
+		t.Fatalf("reference submit status = %d", status)
+	}
+	ref = waitDone(t, plain, ref.ID)
+	if !bytes.Equal(doc.Result, ref.Result) {
+		t.Error("fleet-mode result differs from single-node result")
+	}
+	if ref.Worker != "" || ref.Dispatch != "" {
+		t.Errorf("single-node doc leaked fleet routing: %+v", ref)
+	}
+}
+
+// TestFleetWinsOverTiered: Config says the two are mutually exclusive
+// and Fleet wins; a server built with both must not run the tiered path.
+func TestFleetWinsOverTiered(t *testing.T) {
+	cache, err := simrun.NewCache(simrun.CacheOpts{Encode: Encode, DecodeTier: DecodeTier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := fleet.NewCoordinator(fleet.Config{Cache: cache, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Workers: 1, Cache: cache, Fleet: coord, TieredServing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	if s.tiered {
+		t.Error("tiered serving stayed on alongside fleet routing")
+	}
+}

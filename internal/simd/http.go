@@ -131,8 +131,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // handleEvents streams job-status transitions as server-sent events: one
 // "status" event per transition, starting with the current state, ending
 // after the terminal state. Live heartbeats from the running simulation
-// arrive between transitions as "progress" events carrying the same
-// document shape (the progress field is what changed).
+// arrive between transitions as "progress" events, and fleet routing
+// changes (worker assignment, retry, reassignment) as "dispatch" events,
+// both carrying the same document shape (the changed field says which).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -150,7 +151,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 
 	events := job.Subscribe()
-	last := ""
+	last, lastRoute := "", ""
 	for {
 		select {
 		case doc, open := <-events:
@@ -162,12 +163,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			// A document whose status and tier match the previous event
-			// is a heartbeat, not a transition.
+			// is not a transition: a changed route (worker/attempt) makes
+			// it a dispatch event, otherwise it is a progress heartbeat.
+			key := string(doc.Status) + "|" + doc.Tier
+			route := fmt.Sprintf("%s|%d|%s", doc.Worker, doc.Attempt, doc.Dispatch)
 			event := "status"
-			if key := string(doc.Status) + "|" + doc.Tier; key == last && doc.Progress != nil {
+			switch {
+			case key != last:
+				last, lastRoute = key, route
+			case route != lastRoute:
+				event = "dispatch"
+				lastRoute = route
+			case doc.Progress != nil:
 				event = "progress"
-			} else {
-				last = key
 			}
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
 			flusher.Flush()

@@ -45,6 +45,15 @@ type JobDoc struct {
 	// (nil until the run has been going long enough to report). It is
 	// presentation only — never part of Result's bytes.
 	Progress *obs.Progress `json:"progress,omitempty"`
+	// Worker/Attempt/Dispatch track fleet routing when the server runs
+	// in coordinator mode: the worker currently holding the job's lease
+	// ("local" for the degraded in-process run), the 1-based dispatch
+	// attempt, and why that dispatch happened ("dispatch", "retry",
+	// "reassign", "local"). Empty on single-node servers. Presentation
+	// only — routing never changes Result's bytes.
+	Worker   string `json:"worker,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Dispatch string `json:"dispatch,omitempty"`
 }
 
 // Job is one submitted scenario making its way through the queue. Jobs
@@ -70,6 +79,9 @@ type Job struct {
 	// job up.
 	qspan    *obs.Span
 	progress *obs.Progress
+	worker   string
+	attempt  int
+	dispatch string
 	subs     []chan JobDoc
 	done     chan struct{}
 	// upgradePending marks a job answered below full fidelity whose
@@ -133,6 +145,33 @@ func (j *Job) setProgress(p obs.Progress) {
 	}
 }
 
+// setDispatch records a fleet routing event (which worker holds the
+// job, which attempt, and why) and notifies subscribers under the same
+// headroom rule as progress: routing is best-effort decoration that must
+// never crowd out a status event.
+func (j *Job) setDispatch(worker string, attempt int, event string) {
+	j.mu.Lock()
+	if j.status.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.worker = worker
+	j.attempt = attempt
+	j.dispatch = event
+	doc := j.docLocked()
+	subs := append([]chan JobDoc(nil), j.subs...)
+	j.mu.Unlock()
+
+	for _, ch := range subs {
+		if cap(ch)-len(ch) > maxStatusEvents {
+			select {
+			case ch <- doc:
+			default:
+			}
+		}
+	}
+}
+
 // maxStatusEvents is the most status transitions a subscriber can still
 // have in flight after subscribing (running, done, upgrade settle);
 // progress sends always leave this much headroom.
@@ -156,6 +195,9 @@ func (j *Job) docLocked() JobDoc {
 		Error:       j.errMsg,
 		Result:      j.payload,
 		Progress:    j.progress,
+		Worker:      j.worker,
+		Attempt:     j.attempt,
+		Dispatch:    j.dispatch,
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/simrun"
 )
@@ -65,6 +66,14 @@ type Config struct {
 	// service handler. Off by default: profiling endpoints expose host
 	// internals and cost nothing when unmounted.
 	Pprof bool
+	// Fleet, when set, routes every job through the coordinator instead
+	// of the local cache: dispatch to HTTP-registered workers with
+	// leases, retries and reassignment, degrading to a local run when
+	// the fleet is empty. Build the coordinator over the same Cache so
+	// results land in one content-addressed store either way. Fleet and
+	// TieredServing are mutually exclusive (tiering is a single-node
+	// serving feature); Fleet wins if both are set.
+	Fleet *fleet.Coordinator
 }
 
 // Server is the service state: job table, bounded queue, worker pool and
@@ -76,6 +85,7 @@ type Server struct {
 	maxJobs int
 	tiered  bool
 	pprof   bool
+	fleet   *fleet.Coordinator
 	reg     *obs.Registry
 
 	// runCtx gates in-flight simulations: Drain cancels it only when
@@ -129,8 +139,9 @@ func New(cfg Config) (*Server, error) {
 		queue:     make(chan *Job, depth),
 		workers:   workers,
 		maxJobs:   maxJobs,
-		tiered:    cfg.TieredServing,
+		tiered:    cfg.TieredServing && cfg.Fleet == nil,
 		pprof:     cfg.Pprof,
+		fleet:     cfg.Fleet,
 		reg:       obs.NewRegistry(),
 		runCtx:    ctx,
 		runCancel: cancel,
@@ -160,10 +171,41 @@ func (s *Server) worker() {
 func (s *Server) process(job *Job) {
 	job.pickup()
 	job.setStatus(StatusRunning, "", "", nil, "")
+	if s.fleet != nil {
+		s.processFleet(job)
+		return
+	}
 	if s.tiered && !job.scenario.EnginePinned() && s.processTiered(job) {
 		return
 	}
 	entry, err := s.cache.GetOrRun(s.runCtx, job.scenario)
+	if err != nil {
+		s.failed.Add(1)
+		s.mu.Lock()
+		if s.byFP[job.fingerprint] == job {
+			delete(s.byFP, job.fingerprint)
+		}
+		s.mu.Unlock()
+		job.setStatus(StatusFailed, entry.Source, entry.Tier, nil, err.Error())
+		return
+	}
+	s.completed.Add(1)
+	job.setStatus(StatusDone, entry.Source, entry.Tier, entry.Payload, "")
+}
+
+// processFleet routes the job through the coordinator: dispatch to a
+// registered worker under a lease, retrying and reassigning on failure,
+// or a local run when the fleet is empty. Every dispatch event lands on
+// the job document (worker, attempt) so the SSE stream shows the job
+// hopping workers during a chaos event.
+func (s *Server) processFleet(job *Job) {
+	entry, err := s.fleet.Run(s.runCtx, job.scenario, fleet.RunOpts{
+		Spec:   job.spec,
+		Tracer: job.tracer,
+		OnDispatch: func(d fleet.Dispatch) {
+			job.setDispatch(d.Worker, d.Attempt, d.Event)
+		},
+	})
 	if err != nil {
 		s.failed.Add(1)
 		s.mu.Lock()

@@ -3,6 +3,7 @@ package simrun
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -89,8 +90,18 @@ func Batch(ctx context.Context, scenarios []*Scenario, opts BatchOpts) []BatchRe
 // runOne executes one scenario under the batch context and optional
 // per-scenario timeout. Once the batch context is cancelled, in-flight
 // runs are interrupted at the driver's next poll and every remaining
-// scenario returns the cancellation error without simulating.
-func runOne(ctx context.Context, s *Scenario, timeout time.Duration) BatchResult {
+// scenario returns the cancellation error without simulating. A panic
+// anywhere under the run is isolated to this one result (engines have
+// their own boundary in Run; this one also covers the batch plumbing),
+// so one poisoned scenario cannot sink the rest of the batch.
+func runOne(ctx context.Context, s *Scenario, timeout time.Duration) (br BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			obsMetrics()
+			mEnginePanics.Inc()
+			br = BatchResult{Scenario: s, Err: &PanicError{Engine: s.EngineName(), Scenario: s.Name(), Value: r, Stack: debug.Stack()}}
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return BatchResult{Scenario: s, Err: err}
 	}

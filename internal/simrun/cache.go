@@ -1,9 +1,13 @@
 package simrun
 
 import (
+	"bytes"
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -61,6 +65,9 @@ type CacheStats struct {
 	Waits    uint64 // callers that piggybacked on an in-flight run
 	Uncached uint64 // scenarios without a fingerprint, run directly
 	Upgrades uint64 // entries replaced in place by a higher tier
+	// Quarantined counts persisted payloads that failed the integrity
+	// check on load and were renamed aside instead of served.
+	Quarantined uint64
 }
 
 // CacheOpts configures NewCache.
@@ -103,7 +110,7 @@ type Cache struct {
 	byKey  map[string]*list.Element // fingerprint -> lru element
 	flight map[string]*flightCall   // fingerprint+tier -> in-flight run
 
-	runs, hits, diskHits, waits, uncached, upgrades atomic.Uint64
+	runs, hits, diskHits, waits, uncached, upgrades, quarantined atomic.Uint64
 }
 
 type cacheSlot struct {
@@ -154,7 +161,59 @@ func (c *Cache) Stats() CacheStats {
 		Waits:    c.waits.Load(),
 		Uncached: c.uncached.Load(),
 		Upgrades: c.upgrades.Load(),
+
+		Quarantined: c.quarantined.Load(),
 	}
+}
+
+// Lookup returns the answer stored under key when its tier satisfies
+// wanted, checking the in-memory LRU first and then the disk store
+// (promoting a disk hit into the LRU). Unlike GetOrRun it never
+// simulates — serving layers that dispatch misses elsewhere (the fleet
+// coordinator) use it as their pure read path.
+func (c *Cache) Lookup(key string, wanted Tier) (CacheEntry, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		slot := el.Value.(*cacheSlot)
+		if slot.tier.AtLeast(wanted) {
+			c.lru.MoveToFront(el)
+			entry := CacheEntry{Key: key, Source: SourceMemory, Tier: slot.tier, Result: slot.result, Payload: slot.payload}
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return entry, true
+		}
+	}
+	c.mu.Unlock()
+	if payload, ok := c.loadDisk(key); ok {
+		var tier Tier
+		if c.decodeTier != nil {
+			tier = c.decodeTier(payload)
+		}
+		if tier.AtLeast(wanted) {
+			c.diskHits.Add(1)
+			c.store(key, Result{}, payload, tier)
+			return CacheEntry{Key: key, Source: SourceDisk, Tier: tier, Payload: payload}, true
+		}
+	}
+	return CacheEntry{}, false
+}
+
+// Put stores an externally produced payload under key — the fleet
+// coordinator's completion path for results delivered by workers. The
+// store is upgrade-only, exactly like a local run's: a duplicate
+// completion of a reassigned job (at-least-once dispatch landing twice)
+// or a late estimator result arriving after the full answer is refused,
+// never a conflict. Put reports whether the entry now holds this
+// payload; accepted payloads also reach the disk store.
+func (c *Cache) Put(key string, payload []byte, tier Tier) bool {
+	if key == "" || payload == nil {
+		return false
+	}
+	if !c.store(key, Result{}, payload, tier) {
+		return false
+	}
+	c.storeDisk(key, payload)
+	return true
 }
 
 // Len returns the number of in-memory entries.
@@ -314,22 +373,66 @@ func (c *Cache) diskPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// loadDisk reads a persisted payload. Called without c.mu: the flight
-// entry for key already serializes identical lookups.
+// Persisted payloads carry a fixed-length integrity footer — the
+// SHA-256 of the payload bytes — so bit rot, torn writes that survived
+// the rename, or hand-edited files are detected on load instead of
+// being served as simulation results.
+const (
+	diskSumPrefix = "\n#simcache-sha256:"
+	diskSumLen    = len(diskSumPrefix) + sha256.Size*2 + 1 // prefix + hex + "\n"
+)
+
+func diskFooter(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	return []byte(diskSumPrefix + hex.EncodeToString(sum[:]) + "\n")
+}
+
+// loadDisk reads a persisted payload and verifies its integrity footer.
+// A file that is too short, lacks the footer, or whose checksum does not
+// match its contents is quarantined — renamed aside, counted and logged
+// — and reported as a miss, so a corrupt cache entry costs one
+// re-simulation, never a wrong answer or a crash. Called without c.mu:
+// the flight entry for key already serializes identical lookups.
 func (c *Cache) loadDisk(key string) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	payload, err := os.ReadFile(c.diskPath(key))
-	if err != nil || len(payload) == 0 {
+	raw, err := os.ReadFile(c.diskPath(key))
+	if err != nil || len(raw) == 0 {
+		return nil, false
+	}
+	n := len(raw) - diskSumLen
+	if n < 0 || !bytes.HasPrefix(raw[n:], []byte(diskSumPrefix)) {
+		c.quarantine(key, "missing integrity footer")
+		return nil, false
+	}
+	payload := raw[:n]
+	if !bytes.Equal(raw[n:], diskFooter(payload)) {
+		c.quarantine(key, "checksum mismatch")
 		return nil, false
 	}
 	return payload, true
 }
 
-// storeDisk persists a payload with a write-then-rename so readers never
-// observe a torn file. Store failures are ignored: the disk layer is an
-// optimization, never a correctness dependency.
+// quarantine moves a corrupt cache file aside (for postmortems) so it
+// is never read again, and makes the event visible: a counter for
+// dashboards, a log line for operators.
+func (c *Cache) quarantine(key, why string) {
+	c.quarantined.Add(1)
+	obsMetrics()
+	mCacheQuarantined.Inc()
+	path := c.diskPath(key)
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Couldn't move it aside — remove it so it cannot be re-read.
+		os.Remove(path)
+	}
+	log.Printf("simrun: cache: quarantined corrupt entry %s (%s)", path, why)
+}
+
+// storeDisk persists a payload plus its integrity footer with a
+// write-then-rename so readers never observe a torn file. Store
+// failures are ignored: the disk layer is an optimization, never a
+// correctness dependency.
 func (c *Cache) storeDisk(key string, payload []byte) {
 	if c.dir == "" || payload == nil {
 		return
@@ -339,6 +442,9 @@ func (c *Cache) storeDisk(key string, payload []byte) {
 		return
 	}
 	_, werr := tmp.Write(payload)
+	if werr == nil {
+		_, werr = tmp.Write(diskFooter(payload))
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())

@@ -12,11 +12,13 @@ import (
 // registry's idempotent lookup (a mutexed map access, negligible next
 // to a simulation).
 var (
-	obsOnce        sync.Once
-	mFallbacks     *obs.Counter
-	mBatchPending  *obs.Gauge
-	mBatchRunning  *obs.Gauge
-	mCacheUpgrades *obs.Counter
+	obsOnce           sync.Once
+	mFallbacks        *obs.Counter
+	mBatchPending     *obs.Gauge
+	mBatchRunning     *obs.Gauge
+	mCacheUpgrades    *obs.Counter
+	mCacheQuarantined *obs.Counter
+	mEnginePanics     *obs.Counter
 )
 
 func obsMetrics() {
@@ -30,6 +32,10 @@ func obsMetrics() {
 			"Batch scenarios currently simulating.")
 		mCacheUpgrades = r.Counter("simrun_cache_tier_upgrades_total",
 			"Result-cache entries upgraded in place to a higher fidelity tier.")
+		mCacheQuarantined = r.Counter("simrun_cache_quarantined_total",
+			"Persisted cache entries that failed the integrity check and were renamed aside.")
+		mEnginePanics = r.Counter("simrun_engine_panics_total",
+			"Engine runs that panicked and were isolated to a per-run error.")
 	})
 }
 

@@ -2,6 +2,8 @@ package simrun
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/branch"
@@ -87,7 +89,7 @@ func (s *Scenario) Run(ctx context.Context) (Result, error) {
 	runs, wall := engineMetrics(eng.Name)
 	sp := s.tracer().Start("engine:" + eng.Name)
 	t0 := time.Now()
-	res, err := eng.Run(ctx, s)
+	res, err := runIsolated(ctx, eng, s)
 	wall.Observe(time.Since(t0).Seconds())
 	runs.Inc()
 	sp.End()
@@ -95,6 +97,38 @@ func (s *Scenario) Run(ctx context.Context) (Result, error) {
 	res.Engine = eng.Name
 	res.Tier = eng.Tier(s)
 	return res, err
+}
+
+// runIsolated is the panic boundary around an engine run: a panic in
+// the engine (or the core models underneath it) fails this one run with
+// the recovered value and stack in the error, instead of taking down
+// the whole process — a batch keeps its other scenarios, a service
+// worker keeps serving. (A panic on another goroutine — e.g. inside a
+// parsim per-core worker — still crashes the process; the fleet layer
+// exists to survive exactly that.)
+func runIsolated(ctx context.Context, eng EngineDef, s *Scenario) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			obsMetrics()
+			mEnginePanics.Inc()
+			res = Result{Scenario: s}
+			err = &PanicError{Engine: eng.Name, Scenario: s.Name(), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return eng.Run(ctx, s)
+}
+
+// PanicError is a recovered engine panic, stack included, so the
+// failure is debuggable from the one job it sank.
+type PanicError struct {
+	Engine   string
+	Scenario string
+	Value    any
+	Stack    []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simrun: engine %q panicked running %q: %v\n%s", e.Engine, e.Scenario, e.Value, e.Stack)
 }
 
 // runFull is the full engine: the scenario's entire instruction budget

@@ -263,11 +263,11 @@ func (sp Spec) merge(def Spec) Spec {
 	return out
 }
 
-// LoadSpecs strictly decodes a SpecFile and builds one validated scenario
-// per entry. Precedence, most specific first: scenario fields, the file's
-// defaults, then any base specs (a front end's command-line sizing flags,
-// say). The error names the offending entry.
-func LoadSpecs(r io.Reader, base ...Spec) ([]*Scenario, error) {
+// loadSpecFile strictly decodes a SpecFile and returns one merged spec
+// per scenario entry. Precedence, most specific first: scenario fields,
+// the file's defaults, then any base specs (a front end's command-line
+// sizing flags, say).
+func loadSpecFile(r io.Reader, base ...Spec) ([]Spec, error) {
 	var f SpecFile
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -281,13 +281,45 @@ func LoadSpecs(r io.Reader, base ...Spec) ([]*Scenario, error) {
 	for _, b := range base {
 		def = def.merge(b)
 	}
-	scs := make([]*Scenario, len(f.Scenarios))
+	specs := make([]Spec, len(f.Scenarios))
 	for i, sp := range f.Scenarios {
-		s, err := sp.merge(def).Scenario()
+		specs[i] = sp.merge(def)
+	}
+	return specs, nil
+}
+
+// LoadSpecs strictly decodes a SpecFile and builds one validated scenario
+// per entry. The error names the offending entry.
+func LoadSpecs(r io.Reader, base ...Spec) ([]*Scenario, error) {
+	specs, err := loadSpecFile(r, base...)
+	if err != nil {
+		return nil, err
+	}
+	scs := make([]*Scenario, len(specs))
+	for i, sp := range specs {
+		s, err := sp.Scenario()
 		if err != nil {
 			return nil, fmt.Errorf("scenario %d: %w", i+1, err)
 		}
 		scs[i] = s
 	}
 	return scs, nil
+}
+
+// LoadRawSpecs strictly decodes a SpecFile and returns the merged specs
+// in wire form, each validated by building (and discarding) its
+// scenario. Front ends that ship specs elsewhere instead of running
+// them — cmd/sweep -fleet submitting to a simd coordinator — need the
+// specs themselves: a built Scenario has no way back to its wire form.
+func LoadRawSpecs(r io.Reader, base ...Spec) ([]Spec, error) {
+	specs, err := loadSpecFile(r, base...)
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		if _, err := sp.Scenario(); err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i+1, err)
+		}
+	}
+	return specs, nil
 }
