@@ -67,14 +67,16 @@ func main() {
 		tiered  = flag.Bool("tiered", false, "answer from the cheapest fidelity tier immediately and upgrade in the background")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and in-flight jobs")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+		jobTr   = flag.Bool("job-trace", true, "record per-job lifecycle spans served at /v1/jobs/{id}/trace")
 
-		coordOn   = flag.Bool("coordinator", false, "dispatch jobs to fleet workers (with local fallback when none are registered)")
-		leaseTTL  = flag.Duration("lease-ttl", 5*time.Second, "coordinator: how long worker leases survive without a heartbeat")
-		workerURL = flag.String("worker", "", "run as a fleet worker for the coordinator at this base URL (replaces the job API)")
-		advertise = flag.String("advertise", "", "worker: base URL the coordinator dials this worker at (default http://127.0.0.1<addr>)")
-		workerID  = flag.String("worker-id", "", "worker: identity in the fleet (default <hostname>-<pid>)")
-		beatEvery = flag.Duration("heartbeat", 0, "worker: heartbeat interval (0 = accept the coordinator's advertisement)")
-		chaos     = flag.String("chaos", "", "worker: arm deterministic fault injection, e.g. kill-run=2,drop-heartbeats=all,corrupt-run=1,delay-result=50ms")
+		coordOn     = flag.Bool("coordinator", false, "dispatch jobs to fleet workers (with local fallback when none are registered)")
+		leaseTTL    = flag.Duration("lease-ttl", 5*time.Second, "coordinator: how long worker leases survive without a heartbeat")
+		scrapeEvery = flag.Duration("scrape-every", 5*time.Second, "coordinator: how often to scrape each worker's /metrics into /fleet/v1/metrics")
+		workerURL   = flag.String("worker", "", "run as a fleet worker for the coordinator at this base URL (replaces the job API)")
+		advertise   = flag.String("advertise", "", "worker: base URL the coordinator dials this worker at (default http://127.0.0.1<addr>)")
+		workerID    = flag.String("worker-id", "", "worker: identity in the fleet (default <hostname>-<pid>)")
+		beatEvery   = flag.Duration("heartbeat", 0, "worker: heartbeat interval (0 = accept the coordinator's advertisement)")
+		chaos       = flag.String("chaos", "", "worker: arm deterministic fault injection, e.g. kill-run=2,drop-heartbeats=all,corrupt-run=1,delay-result=50ms")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file, flushed when the SIGTERM drain completes")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file, flushed when the SIGTERM drain completes")
@@ -127,13 +129,16 @@ func main() {
 
 	var coord *fleet.Coordinator
 	if *coordOn {
-		coord, err = fleet.NewCoordinator(fleet.Config{Cache: cache, LeaseTTL: *leaseTTL})
+		coord, err = fleet.NewCoordinator(fleet.Config{Cache: cache, LeaseTTL: *leaseTTL, ScrapeEvery: *scrapeEvery})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		// The federation scraper runs for the serving lifetime; the
+		// signal context that stops intake stops it too.
+		go coord.ScrapeLoop(ctx)
 	}
-	server, err := simd.New(simd.Config{Workers: *jobs, QueueDepth: *depth, Cache: cache, TieredServing: *tiered, Pprof: *pprofOn, Fleet: coord})
+	server, err := simd.New(simd.Config{Workers: *jobs, QueueDepth: *depth, Cache: cache, TieredServing: *tiered, Pprof: *pprofOn, DisableJobTraces: !*jobTr, Fleet: coord})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -48,7 +48,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/config"
 	// Register the estimator engines for -adaptive and for spec files
@@ -137,7 +139,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: -top %v out of range (0, 1]\n", *top)
 		exitWith(2)
 	}
-	s := &sweeper{ctx: ctx, insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs, hostpar: *hostpar, adaptive: *adaptive, top: *top}
+	s := &sweeper{ctx: ctx, insts: *insts, warm: *warm, seed: *seed, detailed: *detailed, jobs: *jobs, hostpar: *hostpar, adaptive: *adaptive, top: *top, progress: *progress}
 	if tracer != nil || *progress {
 		s.obsv = &obs.Observer{Tracer: tracer}
 		if *progress {
@@ -192,6 +194,10 @@ type sweeper struct {
 	// obsv, when set, is attached to every scenario the sweep runs: one
 	// shared tracer and progress sink across the whole batch.
 	obsv *obs.Observer
+	// progress mirrors -progress for the fleet path, where there is no
+	// local scenario to observe: the live line counts jobs instead of
+	// instructions.
+	progress bool
 }
 
 // scenario builds one sweep scenario, treating a bad benchmark name (or
@@ -398,6 +404,54 @@ func (s *sweeper) sweepFleet(path, base string) {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
+
+	// Under -progress the fleet path has no local scenario to heartbeat,
+	// so the sweep heartbeats itself: the throttled line counts jobs
+	// done / in flight / retried and which worker answered each, ticked
+	// both on completions and on a timer so the line moves during long
+	// jobs. The client's retry hook is the only retry signal a purely
+	// remote sweep has.
+	var done atomic.Uint64
+	var inflight, retried atomic.Int64
+	var pmu sync.Mutex
+	perWorker := map[string]int{}
+	var hb *obs.Heartbeat
+	var stopTick chan struct{}
+	if s.progress {
+		hb = &obs.Heartbeat{
+			Budget: uint64(len(specs)),
+			Emit: func(p obs.Progress) {
+				pmu.Lock()
+				ids := make([]string, 0, len(perWorker))
+				for id := range perWorker {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				var byWorker strings.Builder
+				for _, id := range ids {
+					fmt.Fprintf(&byWorker, " %s:%d", id, perWorker[id])
+				}
+				pmu.Unlock()
+				fmt.Fprintf(os.Stderr, "sweep: fleet %d/%d jobs done, %d in flight, %d retried%s\n",
+					p.Retired, p.Budget, inflight.Load(), retried.Load(), byWorker.String())
+			},
+		}
+		cl.Retry.OnRetry = func(string, int) { retried.Add(1) }
+		stopTick = make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(200 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopTick:
+					return
+				case <-ticker.C:
+					hb.Tick(done.Load())
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	wg.Add(workers)
@@ -407,6 +461,7 @@ func (s *sweeper) sweepFleet(path, base string) {
 			for i := range idx {
 				sp := specs[i]
 				r := row{name: fleetSpecName(sp)}
+				inflight.Add(1)
 				res, err := cl.SubmitAndWait(s.ctx, sp)
 				if err == nil {
 					var sum report.Summary
@@ -419,6 +474,18 @@ func (s *sweeper) sweepFleet(path, base string) {
 				}
 				r.err = err
 				rows[i] = r
+				inflight.Add(-1)
+				done.Add(1)
+				if s.progress {
+					pmu.Lock()
+					who := r.worker
+					if who == "" {
+						who = "local"
+					}
+					perWorker[who]++
+					pmu.Unlock()
+					hb.Tick(done.Load())
+				}
 			}
 		}()
 	}
@@ -427,6 +494,12 @@ func (s *sweeper) sweepFleet(path, base string) {
 	}
 	close(idx)
 	wg.Wait()
+	if s.progress {
+		close(stopTick)
+		// Final is suppressed when the closing Tick already reported this
+		// exact count — no duplicate last line.
+		hb.Final(done.Load())
+	}
 
 	for _, r := range rows {
 		if errors.Is(r.err, context.Canceled) {

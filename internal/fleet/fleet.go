@@ -65,6 +65,12 @@ const (
 	PathHeartbeat  = "/fleet/v1/heartbeat"
 	PathDeregister = "/fleet/v1/deregister"
 	PathRun        = "/fleet/v1/run"
+	// PathMetrics serves the coordinator's federated view of every
+	// worker's /metrics (plus its own), one exposition payload with
+	// worker labels and aggregate rollups.
+	PathMetrics = "/fleet/v1/metrics"
+	// PathStatus serves the live fleet status snapshot as JSON.
+	PathStatus = "/fleet/v1/status"
 )
 
 // Result-delivery headers: the fidelity tier of the payload and its
@@ -73,6 +79,19 @@ const (
 const (
 	HeaderTier = "X-Fleet-Tier"
 	HeaderSum  = "X-Fleet-Sum"
+)
+
+// Trace-propagation headers. The coordinator mints a trace id per job
+// and a span id per dispatch attempt and stamps them on the run
+// request; a worker that sees them runs the job under a per-request
+// tracer and returns its spans — compact JSON, base64, bounded — in
+// X-Fleet-Spans on the response. The spans ride a header, never the
+// body: the payload stays byte-identical to a local run, which the
+// X-Fleet-Sum checksum and the dedup contract both depend on.
+const (
+	HeaderTrace = "X-Fleet-Trace"
+	HeaderSpan  = "X-Fleet-Span"
+	HeaderSpans = "X-Fleet-Spans"
 )
 
 // registration is the register request body and lease advertisement
@@ -112,6 +131,10 @@ type Config struct {
 	JobDeadline time.Duration
 	// Retry shapes the backoff between dispatch attempts.
 	Retry Backoff
+	// ScrapeEvery is the metrics-federation scrape interval driven by
+	// ScrapeLoop (<=0 selects 5s). A worker whose last successful scrape
+	// is older than twice this is marked stale in the federated output.
+	ScrapeEvery time.Duration
 	// Registry receives the fleet metrics (nil selects obs.Default()).
 	Registry *obs.Registry
 	// Client performs dispatch and control-plane requests (nil builds a
@@ -129,21 +152,39 @@ type Coordinator struct {
 	maxAttempts int
 	jobDeadline time.Duration
 	retry       Backoff
+	scrapeEvery time.Duration
 	client      *http.Client
 
 	mu      sync.Mutex
 	workers map[string]*workerState
+	// tids assigns each worker a stable trace row (1-based; row 0 is the
+	// coordinator itself). Rows outlive the worker's registration so a
+	// worker that dies and a replacement that finishes the job land on
+	// distinct, consistently-labeled tracks.
+	tids    map[string]int
+	nextTID int
+	// scrapes holds each worker's last federation scrape (and when it
+	// succeeded); entries outlive deregistration so the federated view
+	// can keep serving a dead worker's last-known-good samples, marked
+	// stale.
+	scrapes map[string]*scrapeState
+	// stats accumulates per-worker dispatch accounting for the status
+	// surface; like scrapes, entries survive worker loss.
+	stats map[string]*workerStats
 
-	mDispatches   *obs.Counter
-	mRetries      *obs.Counter
-	mReassigns    *obs.Counter
-	mLeaseExpiry  *obs.Counter
-	mCorrupt      *obs.Counter
-	mLocalRuns    *obs.Counter
-	mCompletions  *obs.Counter
-	mDupComplete  *obs.Counter
-	mRegistered   *obs.Counter
-	mDeregistered *obs.Counter
+	mDispatches    *obs.Counter
+	mRetries       *obs.Counter
+	mReassigns     *obs.Counter
+	mLeaseExpiry   *obs.Counter
+	mCorrupt       *obs.Counter
+	mLocalRuns     *obs.Counter
+	mCompletions   *obs.Counter
+	mDupComplete   *obs.Counter
+	mRegistered    *obs.Counter
+	mDeregistered  *obs.Counter
+	mScrapes       *obs.Counter
+	mScrapeFailure *obs.Counter
+	hDispatch      *obs.Histogram
 }
 
 // workerState is the coordinator's view of one registered worker. The
@@ -171,14 +212,22 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	scrapeEvery := cfg.ScrapeEvery
+	if scrapeEvery <= 0 {
+		scrapeEvery = 5 * time.Second
+	}
 	c := &Coordinator{
 		cache:       cfg.Cache,
 		leaseTTL:    ttl,
 		maxAttempts: attempts,
 		jobDeadline: cfg.JobDeadline,
 		retry:       cfg.Retry,
+		scrapeEvery: scrapeEvery,
 		client:      client,
 		workers:     map[string]*workerState{},
+		tids:        map[string]int{},
+		scrapes:     map[string]*scrapeState{},
+		stats:       map[string]*workerStats{},
 	}
 	r := cfg.Registry
 	if r == nil {
@@ -207,15 +256,25 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		"Worker register calls accepted (including re-registrations).")
 	c.mDeregistered = r.Counter("fleet_worker_deregistrations_total",
 		"Workers that deregistered cleanly.")
+	c.mScrapes = r.Counter("fleet_scrapes_total",
+		"Worker metrics scrapes attempted by the federation loop.")
+	c.mScrapeFailure = r.Counter("fleet_scrape_failures_total",
+		"Worker metrics scrapes that failed (the worker's last-known-good samples go stale).")
+	c.hDispatch = r.Histogram("fleet_dispatch_seconds",
+		"Wall time of individual dispatch attempts, success or failure.",
+		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
 	return c, nil
 }
 
 // Mount attaches the coordinator's control plane (register, heartbeat,
-// deregister) to mux, alongside whatever else the process serves.
+// deregister) and observability surface (federated metrics, fleet
+// status) to mux, alongside whatever else the process serves.
 func (c *Coordinator) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
 	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
 	mux.HandleFunc("POST "+PathDeregister, c.handleDeregister)
+	mux.HandleFunc("GET "+PathMetrics, c.handleFleetMetrics)
+	mux.HandleFunc("GET "+PathStatus, c.handleStatus)
 }
 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -550,12 +609,26 @@ func isStatusErr(err error) bool {
 // dispatch sends one run request to one worker under a lease: the
 // request is abandoned (and the job reassigned by the caller) the
 // moment the worker's heartbeats lapse. The whole attempt is recorded
-// as a "dispatch:<worker>" span in the job's trace.
+// as a "dispatch:<worker>" span in the job's trace; when tracing is on,
+// the request carries X-Fleet-Trace/X-Fleet-Span so the worker records
+// its half of the job and ships it back in X-Fleet-Spans, which is
+// spliced here — shifted into this tracer's timebase, onto the worker's
+// own trace row — nested inside the dispatch span (the worker's
+// processing window is strictly contained in the request's RTT window,
+// so the stitched trace stays monotonically consistent).
 func (c *Coordinator) dispatch(ctx context.Context, w *workerState, key string, body []byte, tracer *obs.Tracer, attempt int) (payload []byte, tier simrun.Tier, err error) {
+	tid := c.tidFor(w.id)
 	sp := tracer.Start("dispatch:" + w.id)
 	sp.Arg("attempt", int64(attempt))
-	defer sp.End()
+	sp.Arg("row", int64(tid))
 	c.mDispatches.Inc()
+	c.noteDispatch(w.id, attempt)
+	started := time.Now()
+	defer func() {
+		sp.End()
+		c.hDispatch.Observe(time.Since(started).Seconds())
+		c.noteDone(w.id, err == nil)
+	}()
 
 	lctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -566,6 +639,19 @@ func (c *Coordinator) dispatch(ctx context.Context, w *workerState, key string, 
 		return nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	var sendUS int64
+	if tracer != nil {
+		tracer.NameTID(0, "coordinator")
+		tracer.NameTID(tid, "worker:"+w.id)
+		// The trace id is the job's fingerprint; the span id names this
+		// attempt. The worker only needs their presence to trace, but the
+		// ids make the dispatch greppable across both nodes' logs.
+		req.Header.Set(HeaderTrace, key)
+		req.Header.Set(HeaderSpan, fmt.Sprintf("%s#%d", w.id, attempt))
+		// The worker's span clock starts when our request arrives, so its
+		// offsets are relative to a point at or after this send timestamp.
+		sendUS = tracer.Now()
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if expired.Load() {
@@ -592,6 +678,11 @@ func (c *Coordinator) dispatch(ctx context.Context, w *workerState, key string, 
 		if actual := sha256.Sum256(data); hex.EncodeToString(actual[:]) != sum {
 			c.mCorrupt.Inc()
 			return nil, "", errCorrupt
+		}
+	}
+	if tracer != nil {
+		if remote, derr := obs.DecodeSpans(resp.Header.Get(HeaderSpans)); derr == nil {
+			tracer.Splice(remote, sendUS, tid)
 		}
 	}
 	return data, simrun.Tier(resp.Header.Get(HeaderTier)), nil

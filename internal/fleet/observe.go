@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// scrapeState is one worker's last successful federation scrape. The
+// entry outlives the worker's registration: a dead worker's samples
+// keep being served — marked stale — until the coordinator itself
+// restarts, matching how operators actually debug a crashed node.
+type scrapeState struct {
+	families map[string]*obs.ParsedFamily
+	at       time.Time // zero = never scraped successfully
+}
+
+// workerStats accumulates per-worker dispatch accounting for the
+// status surface. Entries survive worker loss for the same reason
+// scrapeState does.
+type workerStats struct {
+	inflight int
+	ok       uint64
+	fail     uint64
+	// attempts histograms dispatches by attempt number (1-based): a
+	// fleet where attempts[2] grows is retrying, one where only
+	// attempts[1] grows is healthy.
+	attempts map[int]uint64
+}
+
+// tidFor returns the worker's stable trace row, assigning the next one
+// (1-based; row 0 is the coordinator) on first sight.
+func (c *Coordinator) tidFor(id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tid, ok := c.tids[id]
+	if !ok {
+		c.nextTID++
+		tid = c.nextTID
+		c.tids[id] = tid
+	}
+	return tid
+}
+
+func (c *Coordinator) statsLocked(id string) *workerStats {
+	st, ok := c.stats[id]
+	if !ok {
+		st = &workerStats{attempts: map[int]uint64{}}
+		c.stats[id] = st
+	}
+	return st
+}
+
+func (c *Coordinator) noteDispatch(id string, attempt int) {
+	c.mu.Lock()
+	st := c.statsLocked(id)
+	st.inflight++
+	st.attempts[attempt]++
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) noteDone(id string, ok bool) {
+	c.mu.Lock()
+	st := c.statsLocked(id)
+	st.inflight--
+	if ok {
+		st.ok++
+	} else {
+		st.fail++
+	}
+	c.mu.Unlock()
+}
+
+// maxScrapeBytes bounds one worker's /metrics payload — far above any
+// real exposition, low enough that a misbehaving worker cannot balloon
+// the coordinator.
+const maxScrapeBytes = 4 << 20
+
+// ScrapeMetrics scrapes every registered worker's /metrics once, in
+// parallel, updating the federated view. A failed scrape keeps the
+// worker's last-known-good samples; the staleness gauges in the
+// federated output tell readers how old they are.
+func (c *Coordinator) ScrapeMetrics(ctx context.Context) {
+	c.mu.Lock()
+	targets := make(map[string]string, len(c.workers))
+	for id, ws := range c.workers {
+		targets[id] = ws.url
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for id, url := range targets {
+		wg.Add(1)
+		go func(id, url string) {
+			defer wg.Done()
+			c.mScrapes.Inc()
+			families, err := c.scrapeOne(ctx, url)
+			if err != nil {
+				c.mScrapeFailure.Inc()
+				return
+			}
+			c.mu.Lock()
+			c.scrapes[id] = &scrapeState{families: families, at: time.Now()}
+			c.mu.Unlock()
+		}(id, url)
+	}
+	wg.Wait()
+}
+
+func (c *Coordinator) scrapeOne(ctx context.Context, base string) (map[string]*obs.ParsedFamily, error) {
+	sctx, cancel := context.WithTimeout(ctx, c.scrapeEvery)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &statusErr{status: resp.StatusCode}
+	}
+	return obs.ParseText(io.LimitReader(resp.Body, maxScrapeBytes))
+}
+
+// ScrapeLoop runs ScrapeMetrics every ScrapeEvery until ctx is done —
+// the goroutine a coordinator process starts next to its HTTP server.
+func (c *Coordinator) ScrapeLoop(ctx context.Context) {
+	ticker := time.NewTicker(c.scrapeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			c.ScrapeMetrics(ctx)
+		}
+	}
+}
+
+// scrapeView snapshots the federation state as obs.Scrape values, one
+// per worker the coordinator has ever known (registered, scraped, or
+// dispatched to).
+func (c *Coordinator) scrapeView() []obs.Scrape {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := map[string]bool{}
+	for id := range c.workers {
+		ids[id] = true
+	}
+	for id := range c.scrapes {
+		ids[id] = true
+	}
+	out := make([]obs.Scrape, 0, len(ids))
+	for id := range ids {
+		sc := obs.Scrape{Instance: id, Age: -1, Stale: true}
+		if st, ok := c.scrapes[id]; ok && !st.at.IsZero() {
+			sc.Families = st.families
+			sc.Age = time.Since(st.at)
+			sc.Stale = sc.Age > 2*c.scrapeEvery
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// handleFleetMetrics serves the federated exposition: every worker's
+// last scrape merged into one payload with worker labels, counter
+// aggregates, and per-worker staleness gauges. The output is itself
+// valid ParseText input, so a fleet of fleets can federate again.
+func (c *Coordinator) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteFederated(w, c.scrapeView())
+}
+
+// WorkerStatus is one worker's row in the fleet status snapshot.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// Live says the worker's lease clock is current (a heartbeat landed
+	// within the TTL).
+	Live bool `json:"live"`
+	// LeaseAgeMillis is the time since the last heartbeat (-1 when the
+	// worker is no longer registered).
+	LeaseAgeMillis int64 `json:"lease_age_ms"`
+	// TraceRow is the worker's track on stitched job traces (0 = never
+	// dispatched to).
+	TraceRow int `json:"trace_row,omitempty"`
+	// InFlight counts dispatch attempts currently on the wire to this
+	// worker.
+	InFlight int `json:"in_flight"`
+	// OK / Failed count finished dispatch attempts by outcome.
+	OK     uint64 `json:"ok"`
+	Failed uint64 `json:"failed"`
+	// Attempts histograms dispatches by attempt number (1-based).
+	Attempts map[int]uint64 `json:"attempts,omitempty"`
+	// LastScrapeAgeMillis is the age of the worker's last successful
+	// metrics scrape (-1 = never scraped).
+	LastScrapeAgeMillis int64 `json:"last_scrape_age_ms"`
+	// Stale mirrors the federated staleness flag.
+	Stale bool `json:"stale"`
+}
+
+// Status is the live fleet snapshot served at /fleet/v1/status.
+type Status struct {
+	Workers     []WorkerStatus `json:"workers"`
+	LiveWorkers int            `json:"live_workers"`
+	// Dispatch latency quantiles, milliseconds, over all attempts.
+	DispatchP50Millis float64 `json:"dispatch_p50_ms"`
+	DispatchP95Millis float64 `json:"dispatch_p95_ms"`
+	// Lifetime coordinator totals, mirroring the fleet_* counters.
+	Dispatches           uint64 `json:"dispatches"`
+	Retries              uint64 `json:"retries"`
+	Reassignments        uint64 `json:"reassignments"`
+	LeaseExpiries        uint64 `json:"lease_expiries"`
+	Completions          uint64 `json:"completions"`
+	DuplicateCompletions uint64 `json:"duplicate_completions"`
+	LocalRuns            uint64 `json:"local_runs"`
+	CorruptDeliveries    uint64 `json:"corrupt_results"`
+}
+
+// Status assembles the live fleet snapshot: per-worker lease and
+// dispatch accounting plus coordinator-wide totals and dispatch
+// latency quantiles.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	ids := map[string]bool{}
+	for id := range c.workers {
+		ids[id] = true
+	}
+	for id := range c.stats {
+		ids[id] = true
+	}
+	for id := range c.scrapes {
+		ids[id] = true
+	}
+	st := Status{Workers: make([]WorkerStatus, 0, len(ids))}
+	for id := range ids {
+		ws := WorkerStatus{ID: id, LeaseAgeMillis: -1, LastScrapeAgeMillis: -1, Stale: true, TraceRow: c.tids[id]}
+		if reg, ok := c.workers[id]; ok {
+			age := time.Since(reg.lastBeat)
+			ws.LeaseAgeMillis = age.Milliseconds()
+			ws.Live = age <= c.leaseTTL
+		}
+		if s, ok := c.stats[id]; ok {
+			ws.InFlight = s.inflight
+			ws.OK, ws.Failed = s.ok, s.fail
+			if len(s.attempts) > 0 {
+				ws.Attempts = make(map[int]uint64, len(s.attempts))
+				for k, v := range s.attempts {
+					ws.Attempts[k] = v
+				}
+			}
+		}
+		if sc, ok := c.scrapes[id]; ok && !sc.at.IsZero() {
+			age := time.Since(sc.at)
+			ws.LastScrapeAgeMillis = age.Milliseconds()
+			ws.Stale = age > 2*c.scrapeEvery
+		}
+		if ws.Live {
+			st.LiveWorkers++
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	c.mu.Unlock()
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+
+	st.DispatchP50Millis = c.hDispatch.Quantile(0.50) * 1e3
+	st.DispatchP95Millis = c.hDispatch.Quantile(0.95) * 1e3
+	st.Dispatches = c.mDispatches.Value()
+	st.Retries = c.mRetries.Value()
+	st.Reassignments = c.mReassigns.Value()
+	st.LeaseExpiries = c.mLeaseExpiry.Value()
+	st.Completions = c.mCompletions.Value()
+	st.DuplicateCompletions = c.mDupComplete.Value()
+	st.LocalRuns = c.mLocalRuns.Value()
+	st.CorruptDeliveries = c.mCorrupt.Value()
+	return st
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(c.Status())
+}

@@ -1,0 +1,248 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// findSpan returns the first span whose name matches, and whether any did.
+func findSpan(spans []obs.SpanRec, name string) (obs.SpanRec, bool) {
+	for _, s := range spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return obs.SpanRec{}, false
+}
+
+// TestTraceStitching: a traced fleet run produces one trace holding both
+// sides of the job — the coordinator's dispatch span on row 0 and the
+// worker's remote spans (engine, cache store) spliced onto the worker's
+// own named row, time-shifted into the coordinator's timebase so the
+// remote work nests inside the dispatch window.
+func TestTraceStitching(t *testing.T) {
+	c := newCluster(t, fleet.Config{LeaseTTL: time.Second})
+	startWorker(t, c, "w1", &fleet.FaultInjector{})
+	startWorker(t, c, "w2", &fleet.FaultInjector{})
+
+	sc, err := testSpec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := sc.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := c.coord.AssignedWorker(key)
+
+	tracer := obs.NewTracer(0)
+	if _, err := c.coord.Run(context.Background(), sc, fleet.RunOpts{Spec: testSpec, Tracer: tracer}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	spans := tracer.Spans()
+	disp, ok := findSpan(spans, "dispatch:"+target)
+	if !ok {
+		t.Fatalf("no dispatch span for %s in %v", target, spans)
+	}
+	if disp.TID != 0 {
+		t.Errorf("dispatch span on row %d, want coordinator row 0", disp.TID)
+	}
+
+	rows := tracer.TIDNames()
+	if rows[0] != "coordinator" {
+		t.Errorf("row 0 = %q, want coordinator", rows[0])
+	}
+	workerRow := -1
+	for tid, name := range rows {
+		if name == "worker:"+target {
+			workerRow = tid
+		}
+	}
+	if workerRow < 1 {
+		t.Fatalf("no named row for worker:%s in %v", target, rows)
+	}
+
+	// The worker's half must be present, on the worker's row, and
+	// monotonically consistent: its processing window is strictly inside
+	// the dispatch request's RTT window.
+	var remote []obs.SpanRec
+	for _, s := range spans {
+		if s.TID == workerRow {
+			remote = append(remote, s)
+		}
+	}
+	if len(remote) == 0 {
+		t.Fatalf("no remote spans spliced onto row %d: %v", workerRow, spans)
+	}
+	sawEngine := false
+	for _, s := range remote {
+		if strings.HasPrefix(s.Name, "engine:") {
+			sawEngine = true
+		}
+		if s.StartUS < disp.StartUS || s.StartUS+s.DurUS > disp.StartUS+disp.DurUS {
+			t.Errorf("remote span %s [%d, %d] escapes dispatch window [%d, %d]",
+				s.Name, s.StartUS, s.StartUS+s.DurUS, disp.StartUS, disp.StartUS+disp.DurUS)
+		}
+	}
+	if !sawEngine {
+		t.Errorf("no remote engine span on the worker row: %v", remote)
+	}
+}
+
+// TestFederatedMetricsAndStatus: after a dispatched job and a scrape
+// round, /fleet/v1/metrics serves every worker's samples under worker
+// labels plus counter aggregates, all re-parseable by ParseText, and
+// /fleet/v1/status reports per-worker liveness, dispatch accounting and
+// scrape freshness.
+func TestFederatedMetricsAndStatus(t *testing.T) {
+	c := newCluster(t, fleet.Config{LeaseTTL: time.Second, ScrapeEvery: 100 * time.Millisecond})
+	startWorker(t, c, "w1", &fleet.FaultInjector{})
+	startWorker(t, c, "w2", &fleet.FaultInjector{})
+
+	sc, err := testSpec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := sc.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := c.coord.AssignedWorker(key)
+	if _, err := c.coord.Run(context.Background(), sc, fleet.RunOpts{Spec: testSpec}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	c.coord.ScrapeMetrics(context.Background())
+
+	resp, err := http.Get(c.srv.URL + fleet.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	families, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("federated output is not valid exposition text: %v", err)
+	}
+
+	runs, ok := families["fleet_worker_runs_total"]
+	if !ok {
+		t.Fatal("federated output lacks fleet_worker_runs_total")
+	}
+	var aggregate, labeled float64
+	haveAgg := false
+	for _, s := range runs.Samples {
+		if s.Labels[obs.InstanceLabel] == "" {
+			aggregate, haveAgg = s.Value, true
+		} else {
+			labeled += s.Value
+		}
+	}
+	if !haveAgg {
+		t.Error("counter family has no aggregate (worker-label-free) rollup sample")
+	}
+	if aggregate != labeled || aggregate < 1 {
+		t.Errorf("aggregate %v != sum of per-worker samples %v (want >= 1 run)", aggregate, labeled)
+	}
+
+	ages, ok := families["fleet_scrape_age_seconds"]
+	if !ok {
+		t.Fatal("federated output lacks fleet_scrape_age_seconds")
+	}
+	seen := map[string]bool{}
+	for _, s := range ages.Samples {
+		seen[s.Labels[obs.InstanceLabel]] = true
+		if s.Value < 0 {
+			t.Errorf("worker %s never scraped (age %v) after ScrapeMetrics", s.Labels[obs.InstanceLabel], s.Value)
+		}
+	}
+	if !seen["w1"] || !seen["w2"] {
+		t.Errorf("scrape-age samples missing a worker: %v", seen)
+	}
+
+	resp2, err := http.Get(c.srv.URL + fleet.PathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st fleet.Status
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	if st.LiveWorkers != 2 || len(st.Workers) != 2 {
+		t.Fatalf("status workers = %d live of %d, want 2 of 2", st.LiveWorkers, len(st.Workers))
+	}
+	if st.Dispatches != 1 || st.Completions != 1 {
+		t.Errorf("status dispatches=%d completions=%d, want 1 and 1", st.Dispatches, st.Completions)
+	}
+	if st.DispatchP95Millis <= 0 {
+		t.Errorf("dispatch p95 = %v, want > 0 after a dispatch", st.DispatchP95Millis)
+	}
+	for _, w := range st.Workers {
+		if !w.Live || w.LeaseAgeMillis < 0 {
+			t.Errorf("worker %s: live=%v lease_age=%d, want live with a lease clock", w.ID, w.Live, w.LeaseAgeMillis)
+		}
+		if w.LastScrapeAgeMillis < 0 || w.Stale {
+			t.Errorf("worker %s: scrape_age=%d stale=%v, want fresh after ScrapeMetrics", w.ID, w.LastScrapeAgeMillis, w.Stale)
+		}
+		if w.ID == target {
+			if w.OK != 1 || w.Attempts[1] != 1 || w.TraceRow < 1 {
+				t.Errorf("target %s: ok=%d attempts=%v row=%d, want one first-attempt success on a named row",
+					w.ID, w.OK, w.Attempts, w.TraceRow)
+			}
+		} else if w.OK != 0 {
+			t.Errorf("idle worker %s: ok=%d, want 0", w.ID, w.OK)
+		}
+	}
+}
+
+// TestScrapeStaleness: a worker that stops answering scrapes keeps its
+// last-known-good samples in the federated view, flagged stale once its
+// scrape age exceeds twice the scrape interval.
+func TestScrapeStaleness(t *testing.T) {
+	c := newCluster(t, fleet.Config{LeaseTTL: time.Hour, ScrapeEvery: 20 * time.Millisecond})
+	n := startWorker(t, c, "fading", &fleet.FaultInjector{})
+
+	c.coord.ScrapeMetrics(context.Background())
+	// Sever the worker's data plane: subsequent scrapes fail, the last
+	// payload survives.
+	n.srv.Close()
+	c.coord.ScrapeMetrics(context.Background())
+	time.Sleep(50 * time.Millisecond) // > 2x ScrapeEvery
+
+	resp, err := http.Get(c.srv.URL + fleet.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	families, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := families["fleet_worker_heartbeats_total"]; !ok {
+		t.Error("last-known-good samples dropped from the federated view")
+	}
+	stale, ok := families["fleet_scrape_stale"]
+	if !ok {
+		t.Fatal("no fleet_scrape_stale family")
+	}
+	found := false
+	for _, s := range stale.Samples {
+		if s.Labels[obs.InstanceLabel] == "fading" {
+			found = true
+			if s.Value != 1 {
+				t.Errorf("fleet_scrape_stale{worker=fading} = %v, want 1", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("no staleness sample for the faded worker")
+	}
+	wantMetric(t, c, "fleet_scrape_failures_total", "1")
+}

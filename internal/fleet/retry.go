@@ -23,6 +23,10 @@ type Backoff struct {
 	Cap time.Duration
 	// Attempts is the most tries Retry makes (default 5).
 	Attempts int
+	// OnRetry, when set, observes each retry decision just before the
+	// backoff sleep — the seam progress surfaces (cmd/sweep -progress)
+	// hook to count retried jobs without wrapping every call site.
+	OnRetry func(key string, attempt int)
 }
 
 func (b Backoff) base() time.Duration {
@@ -78,6 +82,9 @@ func (b Backoff) Retry(ctx context.Context, key string, op func() (retry bool, e
 			return err
 		}
 		last = err
+		if b.OnRetry != nil {
+			b.OnRetry(key, attempt)
+		}
 		select {
 		case <-time.After(b.Delay(key, attempt)):
 		case <-ctx.Done():

@@ -47,6 +47,9 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg    WorkerConfig
 	client *http.Client
+	// reg is the registry Handler serves at GET /metrics — the surface
+	// the coordinator's federation scraper reads.
+	reg *obs.Registry
 
 	// beatEvery is the active heartbeat interval in nanoseconds,
 	// adopted from the coordinator's registration advertisement unless
@@ -81,6 +84,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if r == nil {
 		r = obs.Default()
 	}
+	w.reg = r
 	lbl := obs.Label{Key: "worker", Value: cfg.ID}
 	w.mRuns = r.Counter("fleet_worker_runs_total",
 		"Run requests this worker served.", lbl)
@@ -93,7 +97,8 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	return w, nil
 }
 
-// Handler is the worker's data plane: the run endpoint plus liveness.
+// Handler is the worker's data plane: the run endpoint, liveness, and
+// the /metrics exposition the coordinator's federation scraper reads.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathRun, w.handleRun)
@@ -103,6 +108,15 @@ func (w *Worker) Handler() http.Handler {
 		}
 		fmt.Fprintln(rw, "ok")
 	})
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+		if w.dead.Load() {
+			// A crashed worker cannot answer scrapes either; the
+			// coordinator marks it stale and keeps the last good payload.
+			panic(http.ErrAbortHandler)
+		}
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteAll(rw, w.reg, obs.Default())
+	})
 	return mux
 }
 
@@ -110,10 +124,16 @@ func (w *Worker) Handler() http.Handler {
 func (w *Worker) Dead() bool { return w.dead.Load() }
 
 // handleRun simulates one dispatched spec and delivers the payload with
-// its fidelity tier and integrity checksum. The fault injector hooks in
-// here: a kill severs the connection mid-job and silences the worker
-// for good; a corruption flips a payload byte after the checksum is
-// taken; a delay holds the finished result on the wire.
+// its fidelity tier and integrity checksum. When the request carries an
+// X-Fleet-Trace header, the job runs under a per-request tracer and the
+// recorded spans (engine, warmup, measure, cache store — the worker's
+// half of the job's life) ride back in the X-Fleet-Spans header for the
+// coordinator to splice into its own trace; the spans never touch the
+// payload bytes, so checksums and byte-identity are unaffected. The
+// fault injector hooks in here: a kill severs the connection mid-job
+// and silences the worker for good; a corruption flips a payload byte
+// after the checksum is taken; a delay holds the finished result on the
+// wire.
 func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	if w.dead.Load() {
 		panic(http.ErrAbortHandler)
@@ -139,6 +159,15 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
+	var tracer *obs.Tracer
+	if r.Header.Get(HeaderTrace) != "" {
+		// The per-request tracer's epoch is request arrival, so every
+		// span start is an offset into this dispatch — exactly what the
+		// coordinator adds to its own send timestamp when splicing. The
+		// observer never enters the fingerprint or the payload.
+		tracer = obs.NewTracer(0)
+		sc.SetObserver(&obs.Observer{Tracer: tracer})
+	}
 	entry, err := w.cfg.Cache.GetOrRun(r.Context(), sc)
 	if err != nil {
 		w.mRunErrors.Inc()
@@ -156,6 +185,19 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	}
 	if delay > 0 && !sleep(r.Context(), delay) {
 		return
+	}
+	if tracer != nil {
+		spans := tracer.Spans()
+		if len(spans) == 0 {
+			// A cache hit runs no engine; report the answer's provenance
+			// as one zero-effort span so the stitched trace still shows
+			// where the job went.
+			tracer.Start("cache:" + string(entry.Source)).End()
+			spans = tracer.Spans()
+		}
+		if enc := obs.EncodeSpans(spans, 0); enc != "" {
+			rw.Header().Set(HeaderSpans, enc)
+		}
 	}
 	rw.Header().Set("Content-Type", "application/json")
 	rw.Header().Set(HeaderTier, string(entry.Tier))

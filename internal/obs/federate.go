@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scrape is one instance's parsed /metrics payload plus its freshness,
+// the unit WriteFederated merges: a fleet coordinator holds one Scrape
+// per worker and renders them as a single exposition view.
+type Scrape struct {
+	// Instance names the scraped node; it becomes the `worker` label on
+	// every sample that does not already carry one.
+	Instance string
+	// Families is the parsed payload of the instance's last successful
+	// scrape (ParseText's output). May be nil when no scrape has ever
+	// succeeded — the instance then contributes only staleness samples.
+	Families map[string]*ParsedFamily
+	// Age is the time since the last successful scrape (how old
+	// Families is); negative when no scrape ever succeeded.
+	Age time.Duration
+	// Stale marks an instance that missed its scrape window: its
+	// samples are still served (last known good) but flagged so readers
+	// can discount them.
+	Stale bool
+}
+
+// InstanceLabel is the label WriteFederated keys per-instance series
+// by, matching the fleet's worker-scoped metric convention.
+const InstanceLabel = "worker"
+
+// federated staleness families, emitted alongside the merged scrapes so
+// the payload is self-describing about its own freshness.
+const (
+	famScrapeAge   = "fleet_scrape_age_seconds"
+	famScrapeStale = "fleet_scrape_stale"
+)
+
+// WriteFederated renders several scraped exposition payloads as one:
+// every sample gains a worker="<instance>" label (samples already
+// labeled with a worker keep theirs), counter families additionally
+// roll up into an aggregate series summed across instances (rendered
+// without the worker label), and each instance's scrape freshness is
+// exposed as fleet_scrape_age_seconds / fleet_scrape_stale gauges. The
+// output is valid ParseText input — federation can be scraped again.
+//
+// Gauges and histograms are served per-instance only: summing a gauge
+// across workers rarely means anything, and histograms from different
+// instances may disagree on bucket bounds.
+func WriteFederated(w io.Writer, scrapes []Scrape) error {
+	type outFam struct {
+		help    string
+		kind    Kind
+		lines   []string
+		aggLine map[string]float64 // rendered non-worker labels -> sum
+		aggKeys []string           // insertion order for determinism
+	}
+	merged := map[string]*outFam{}
+	fam := func(name, help string, kind Kind) *outFam {
+		f, ok := merged[name]
+		if !ok {
+			f = &outFam{help: help, kind: kind, aggLine: map[string]float64{}}
+			merged[name] = f
+		}
+		return f
+	}
+
+	ordered := append([]Scrape(nil), scrapes...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Instance < ordered[j].Instance })
+	for _, sc := range ordered {
+		names := make([]string, 0, len(sc.Families))
+		for n := range sc.Families {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pf := sc.Families[name]
+			f := fam(name, pf.Help, pf.Type)
+			for _, s := range pf.Samples {
+				labels := renderWithInstance(s.Labels, sc.Instance)
+				f.lines = append(f.lines, fmt.Sprintf("%s%s %s", s.Name, labels, formatValue(s.Value)))
+				if pf.Type == KindCounter {
+					key := renderWithoutInstance(s.Labels)
+					if _, ok := f.aggLine[key]; !ok {
+						f.aggKeys = append(f.aggKeys, key)
+					}
+					f.aggLine[key] += s.Value
+				}
+			}
+		}
+		// Staleness marking, one sample per instance.
+		age := fam(famScrapeAge, "Seconds since this worker's last successful metrics scrape (-1 = never scraped).", KindGauge)
+		ageVal := -1.0
+		if sc.Age >= 0 {
+			ageVal = sc.Age.Seconds()
+		}
+		lbl := renderLabels([]Label{{Key: InstanceLabel, Value: sc.Instance}})
+		age.lines = append(age.lines, fmt.Sprintf("%s%s %s", famScrapeAge, lbl, formatValue(ageVal)))
+		stale := fam(famScrapeStale, "1 when the worker missed its scrape window; its series are last-known-good.", KindGauge)
+		sv := 0.0
+		if sc.Stale {
+			sv = 1
+		}
+		stale.lines = append(stale.lines, fmt.Sprintf("%s%s %s", famScrapeStale, lbl, formatValue(sv)))
+	}
+
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := merged[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.kind); err != nil {
+			return err
+		}
+		// Aggregate rollups first (no worker label), then per-instance.
+		sort.Strings(f.aggKeys)
+		for _, key := range f.aggKeys {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, key, formatValue(f.aggLine[key])); err != nil {
+				return err
+			}
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderWithInstance renders a sample's labels with the instance label
+// added (unless the sample already carries one).
+func renderWithInstance(labels map[string]string, instance string) string {
+	ls := make([]Label, 0, len(labels)+1)
+	hasInstance := false
+	for k, v := range labels {
+		if k == InstanceLabel {
+			hasInstance = true
+		}
+		ls = append(ls, Label{Key: k, Value: v})
+	}
+	if !hasInstance && instance != "" {
+		ls = append(ls, Label{Key: InstanceLabel, Value: instance})
+	}
+	return renderLabels(ls)
+}
+
+// renderWithoutInstance renders a sample's labels minus the instance
+// label — the aggregation key that sums one logical series across the
+// fleet.
+func renderWithoutInstance(labels map[string]string) string {
+	ls := make([]Label, 0, len(labels))
+	for k, v := range labels {
+		if k == InstanceLabel {
+			continue
+		}
+		ls = append(ls, Label{Key: k, Value: v})
+	}
+	return renderLabels(ls)
+}
+
+// WriteFamilies renders parsed families back to the text exposition
+// format (families sorted by name, samples in parse order) — the
+// inverse of ParseText modulo ordering, which is what lets federation
+// re-serve a payload it scraped and lets tests assert the round trip
+// WriteAll → ParseText → WriteFamilies → ParseText is lossless.
+func WriteFamilies(w io.Writer, families map[string]*ParsedFamily) error {
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, f.Help, name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			ls := make([]Label, 0, len(s.Labels))
+			for k, v := range s.Labels {
+				ls = append(ls, Label{Key: k, Value: v})
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, renderLabels(ls), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FamiliesEqual reports whether two parsed payloads carry the same
+// families, samples and values, ignoring sample order within a family —
+// the equality the federation round-trip tests assert.
+func FamiliesEqual(a, b map[string]*ParsedFamily) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, fa := range a {
+		fb, ok := b[name]
+		if !ok || fa.Help != fb.Help || fa.Type != fb.Type || len(fa.Samples) != len(fb.Samples) {
+			return false
+		}
+		if sampleKey(fa.Samples) != sampleKey(fb.Samples) {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleKey renders samples order-independently for comparison.
+func sampleKey(samples []ParsedSample) string {
+	lines := make([]string, len(samples))
+	for i, s := range samples {
+		ls := make([]Label, 0, len(s.Labels))
+		for k, v := range s.Labels {
+			ls = append(ls, Label{Key: k, Value: v})
+		}
+		lines[i] = fmt.Sprintf("%s%s %s", s.Name, renderLabels(ls), formatValue(s.Value))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -74,6 +74,11 @@ type Heartbeat struct {
 	mu    sync.Mutex
 	start time.Time
 	last  time.Time
+	// emitted / lastRetired remember whether a report went out and at
+	// what retired count, so Final can suppress a no-new-information
+	// repeat of the last Tick.
+	emitted     bool
+	lastRetired uint64
 }
 
 // DefaultHeartbeatEvery is the report interval when Every is unset.
@@ -103,23 +108,29 @@ func (h *Heartbeat) Tick(retired uint64) {
 		return
 	}
 	h.last = now
+	h.emitted = true
+	h.lastRetired = retired
 	p := h.progressLocked(retired, now)
 	h.mu.Unlock()
 	h.Emit(p)
 }
 
 // Final reports one last unthrottled progress (end-of-run totals), if
-// the heartbeat ever ticked. Nil-safe.
+// the heartbeat ever ticked. A Final at the same retired count as the
+// last emitted report is suppressed — the closing Tick already said
+// everything this line would repeat. Nil-safe.
 func (h *Heartbeat) Final(retired uint64) {
 	if h == nil || h.Emit == nil {
 		return
 	}
 	now := time.Now()
 	h.mu.Lock()
-	if h.start.IsZero() {
+	if h.start.IsZero() || (h.emitted && h.lastRetired == retired) {
 		h.mu.Unlock()
 		return
 	}
+	h.emitted = true
+	h.lastRetired = retired
 	p := h.progressLocked(retired, now)
 	h.mu.Unlock()
 	h.Emit(p)

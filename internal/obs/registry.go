@@ -89,6 +89,43 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation within the bucket holding the
+// target rank — the same estimate a Prometheus histogram_quantile gives.
+// Returns 0 with no observations; observations beyond the last finite
+// bound clamp to it.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := uint64(0)
+	lower := 0.0
+	for i, upper := range h.bounds {
+		prev := cum
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			if h.counts[i] == 0 {
+				return upper
+			}
+			frac := (rank - float64(prev)) / float64(h.counts[i])
+			return lower + (upper-lower)*frac
+		}
+		lower = upper
+	}
+	// Target rank sits in the +Inf bucket: the last finite bound is the
+	// best bounded answer.
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
 // DefBuckets are the default histogram bounds, in seconds: wide enough
 // to span a sub-millisecond statistical estimate and a minutes-long
 // detailed run.

@@ -244,7 +244,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves the job's recorded lifecycle spans (queue wait,
-// engine runs, cache store, tier upgrade) as JSON.
+// engine runs, cache store, tier upgrade — and, in coordinator mode,
+// dispatch attempts with each worker's remote spans spliced onto named
+// rows) as JSON. On nodes that disabled job traces the endpoint is a
+// 404 that says how to turn them back on, not an empty 200 a caller
+// could mistake for "this job did nothing".
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -252,13 +256,24 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := job.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("simd: job traces are disabled on this node (restart with -job-trace to enable)"))
+		return
+	}
 	spans := tr.Spans()
 	if spans == nil {
 		spans = []obs.SpanRec{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"job":     job.Doc().ID,
 		"spans":   spans,
 		"dropped": tr.Dropped(),
-	})
+	}
+	if rows := tr.TIDNames(); rows != nil {
+		// Row labels for stitched fleet traces: tid 0 is the coordinator,
+		// each dispatched-to worker has its own named row.
+		doc["rows"] = rows
+	}
+	writeJSON(w, http.StatusOK, doc)
 }

@@ -91,16 +91,20 @@ type Job struct {
 	upgradePending bool
 }
 
-func newJob(id, fingerprint string, spec simrun.Spec, sc *simrun.Scenario) *Job {
+func newJob(id, fingerprint string, spec simrun.Spec, sc *simrun.Scenario, traced bool) *Job {
 	j := &Job{
 		id:          id,
 		fingerprint: fingerprint,
 		spec:        spec,
 		scenario:    sc,
-		tracer:      obs.NewTracer(0),
 		status:      StatusQueued,
 		done:        make(chan struct{}),
 	}
+	if traced {
+		j.tracer = obs.NewTracer(0)
+	}
+	// A nil tracer no-ops every span below (the obs contract), so the
+	// untraced path costs nothing and needs no branches.
 	j.qspan = j.tracer.Start("queue")
 	// The observer rides the scenario (and every ForEngine copy), so the
 	// dispatcher's engine spans and the driver's heartbeats land on this
@@ -112,7 +116,8 @@ func newJob(id, fingerprint string, spec simrun.Spec, sc *simrun.Scenario) *Job 
 	return j
 }
 
-// Tracer is the job's span ring (the /v1/jobs/{id}/trace payload).
+// Tracer is the job's span ring (the /v1/jobs/{id}/trace payload); nil
+// when the node disabled job traces.
 func (j *Job) Tracer() *obs.Tracer { return j.tracer }
 
 // pickup ends the queue-wait span; called when a worker takes the job.

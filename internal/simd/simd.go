@@ -66,6 +66,12 @@ type Config struct {
 	// service handler. Off by default: profiling endpoints expose host
 	// internals and cost nothing when unmounted.
 	Pprof bool
+	// DisableJobTraces turns off the per-job span tracer (the
+	// GET /v1/jobs/{id}/trace payload). Tracing is on by default — the
+	// ring is bounded and costs microseconds per job — but a node run
+	// purely as cache frontend can shed even that; the trace endpoint
+	// then answers 404 with a hint naming the -job-trace flag.
+	DisableJobTraces bool
 	// Fleet, when set, routes every job through the coordinator instead
 	// of the local cache: dispatch to HTTP-registered workers with
 	// leases, retries and reassignment, degrading to a local run when
@@ -85,6 +91,7 @@ type Server struct {
 	maxJobs int
 	tiered  bool
 	pprof   bool
+	noTrace bool
 	fleet   *fleet.Coordinator
 	reg     *obs.Registry
 
@@ -141,6 +148,7 @@ func New(cfg Config) (*Server, error) {
 		maxJobs:   maxJobs,
 		tiered:    cfg.TieredServing && cfg.Fleet == nil,
 		pprof:     cfg.Pprof,
+		noTrace:   cfg.DisableJobTraces,
 		fleet:     cfg.Fleet,
 		reg:       obs.NewRegistry(),
 		runCtx:    ctx,
@@ -308,7 +316,7 @@ func (s *Server) SubmitSpec(spec simrun.Spec) (*Job, bool, error) {
 		}
 		id = fmt.Sprintf("j-%s.%d", fp[:16], attempt)
 	}
-	job := newJob(id, fp, spec, sc)
+	job := newJob(id, fp, spec, sc, !s.noTrace)
 	select {
 	case s.queue <- job:
 	default:
