@@ -183,7 +183,7 @@ func main() {
 		reps     = flag.Int("reps", 5, "repetitions per measurement (best is reported)")
 		quick    = flag.Bool("quick", false, "small sizes for a smoke run")
 		hostpar  = flag.Int("hostpar", 4, "host-parallel engine setting for the sequential-vs-parallel section (0 skips the section)")
-		tierTol  = flag.Float64("tier-tolerance", 0.6, "allowed statistical-vs-interval CPI relative error in the tier-accuracy check (0 skips the section)")
+		tierTol  = flag.Float64("tier-tolerance", 0.4, "allowed statistical-vs-interval CPI relative error in the tier-accuracy check (0 skips the section)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the benchmark's simulation spans to this file")
 		obsCheck = flag.Bool("obs-overhead", false, "zero-overhead contract check: run only the interval replay set with observability disabled and gate its geomean against -baseline")
 	)

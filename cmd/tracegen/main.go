@@ -13,7 +13,7 @@
 // -slot records the stream at an address-space slot (workload.NewSlot):
 // per-copy traces of a heterogeneous Mix workload are recorded one slot
 // per copy, matching what simrun.Mix generates in-process. The trace
-// header (file format v2, see docs/formats.md) carries the stream-format
+// header (file format v3, see docs/formats.md) carries the stream-format
 // version and the slot; traces recorded before a stream-format break are
 // rejected on replay.
 package main

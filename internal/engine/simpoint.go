@@ -9,21 +9,26 @@ import (
 	"repro/internal/multicore"
 	"repro/internal/sampling"
 	"repro/internal/simrun"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 const (
-	// simpointMaxRecord caps how much of the real stream is recorded and
-	// phase-classified; scenarios beyond it are extrapolated from this
-	// prefix, which is what bounds the tier's cost.
-	simpointMaxRecord = 1_000_000
+	// simpointMaxAnalyze caps how much of the real stream is phase-
+	// classified; scenarios beyond it are extrapolated from this prefix,
+	// which is what bounds the tier's cost. Classification streams the
+	// signatures one interval at a time (v3) — nothing is recorded.
+	simpointMaxAnalyze = 1_000_000
 	// simpointK is the maximum number of phases (clusters).
 	simpointK = 8
 	// simpointMinInterval / simpointMaxInterval clamp the interval
-	// length the recording is sliced into.
+	// length the analyzed span is sliced into.
 	simpointMinInterval = 2_000
 	simpointMaxInterval = 100_000
+	// simpointWarm is the per-representative functional warmup: the
+	// stream format's O(1) skip-ahead jumps straight to this many
+	// instructions before each representative, replacing the v2 replay
+	// of the entire recorded prefix up to the representative.
+	simpointWarm = 50_000
 )
 
 func simpointEngine() simrun.EngineDef {
@@ -45,38 +50,47 @@ func simpointEngine() simrun.EngineDef {
 	}
 }
 
-// simpointCost: the recording is replayed once for classification and up
-// to K more times for per-representative functional warming.
+// simpointCost: the analyzed span is streamed once for classification,
+// then each of up to K representatives costs a bounded warmup plus its
+// interval — not a replay of the stream in front of it.
 func simpointCost(s *simrun.Scenario) float64 {
-	rec := min(s.WarmupBudget()+s.InstBudget(), simpointMaxRecord)
-	return float64(rec) * (1 + simpointK/2)
+	rec := min(s.WarmupBudget()+s.InstBudget(), simpointMaxAnalyze)
+	return float64(rec) + float64(simpointK*(simpointWarm+simpointInterval(rec)))
 }
 
-// simpointRun is SimPoint phase sampling end to end: record a bounded
-// prefix of the real stream, cluster its intervals by code signature,
-// time one representative per phase (functionally warmed from the
-// stream start) and combine the per-phase CPIs by cluster weight.
-func simpointRun(ctx context.Context, s *simrun.Scenario) (simrun.Result, error) {
-	start := time.Now()
-	budget := s.InstBudget()
-	rec := min(s.WarmupBudget()+budget, simpointMaxRecord)
-	insts := trace.Record(workload.New(s.Profile(), 0, 1, s.SeedValue()), rec)
-	if len(insts) == 0 {
-		return simrun.Result{}, fmt.Errorf("engine: simpoint: empty stream for %q", s.Name())
-	}
-
-	il := len(insts) / 16
+// simpointInterval picks the clustering interval length for an analyzed
+// span.
+func simpointInterval(analyzed int) int {
+	il := analyzed / 16
 	if il > simpointMaxInterval {
 		il = simpointMaxInterval
 	}
 	if il < simpointMinInterval {
 		il = simpointMinInterval
 	}
-	if il > len(insts) {
-		il = len(insts)
+	if il > analyzed {
+		il = analyzed
 	}
-	sp, err := sampling.Analyze(insts, sampling.SimPointConfig{
-		IntervalLen: il,
+	return il
+}
+
+// simpointRun is SimPoint phase sampling end to end: stream a bounded
+// prefix of the real stream through interval classification, then time
+// one representative per phase and combine the per-phase CPIs by
+// cluster weight. Each representative is reached by skipping a fresh
+// stream directly to a bounded warmup window in front of it (O(1) with
+// stream format v3), so neither classification nor timing ever
+// materializes the stream.
+func simpointRun(ctx context.Context, s *simrun.Scenario) (simrun.Result, error) {
+	start := time.Now()
+	budget := s.InstBudget()
+	rec := min(s.WarmupBudget()+budget, simpointMaxAnalyze)
+	openStream := func() sampling.SkipStream {
+		return workload.New(s.Profile(), 0, 1, s.SeedValue())
+	}
+
+	sp, err := sampling.AnalyzeStream(openStream(), rec, sampling.SimPointConfig{
+		IntervalLen: simpointInterval(rec),
 		K:           simpointK,
 		Seed:        s.SeedValue(),
 	})
@@ -92,7 +106,7 @@ func simpointRun(ctx context.Context, s *simrun.Scenario) (simrun.Result, error)
 	if s.ModelName() == "detailed" {
 		model = multicore.Detailed
 	}
-	ipc, err := sampling.EstimateIPC(insts, sp, machine, model)
+	ipc, err := sampling.EstimateIPCSkip(openStream, sp, simpointWarm, machine, model)
 	if err != nil {
 		return simrun.Result{}, fmt.Errorf("engine: simpoint: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/isa"
 	"repro/internal/multicore"
 	"repro/internal/simrun"
 	"repro/internal/statsim"
@@ -26,11 +27,17 @@ const (
 	// statProfileWindow caps the profiled window of the real stream.
 	statProfileWindow = 400_000
 	// statCloneLen caps the timed synthetic clone. Long clones matter:
-	// the clone starts from cold structures, and a short clone's
+	// the clone starts from near-cold structures, and a short clone's
 	// transient dominates its mean CPI (100k was nearly 2x too
-	// pessimistic on warm long-running benchmarks).
-	statCloneLen = 400_000
-	// statWarmCloneLen sizes the clone's warmup twin.
+	// pessimistic on warm long-running benchmarks; 400k still carried
+	// enough transient to put gcc 60% off a warm 1M-instruction run —
+	// 800k halves that to ~30%).
+	statCloneLen = 800_000
+	// statWarmCloneLen sizes the clone's warmup twin. Deliberately much
+	// shorter than the clone: the twin shares the clone's concentrated
+	// synthetic working set, so a long warm pre-fills caches the real
+	// stream would keep missing (a clone-length twin made mcf ~6x too
+	// optimistic).
 	statWarmCloneLen = 100_000
 	// statSeedOffset separates the clone's seed space from the
 	// workload's, so the clone never accidentally replays the generator.
@@ -65,7 +72,14 @@ func statisticalRun(ctx context.Context, s *simrun.Scenario) (simrun.Result, err
 	// window is NOT scaled down to small budgets: an underfed profile
 	// misrepresents locality badly (several-fold IPC error), and the
 	// fixed window is what makes the cost budget-independent anyway.
-	prof := statsim.CollectWarm(workload.New(s.Profile(), 0, 1, s.SeedValue()), statProfileWarm, statProfileWindow)
+	// When the stream can skip (format v3) and the measured span is
+	// longer than the window, the window is stratified across the span:
+	// four slices at even offsets through [warmup, warmup+budget), so a
+	// phase-heterogeneous stream contributes every phase the estimate
+	// stands in for — a contiguous prefix window systematically
+	// over-weights the early phases. Cost is unchanged (the same
+	// instructions are profiled; skips are O(1)).
+	prof := statsim.CollectWarm(profileStream(s, budget), statProfileWarm, statProfileWindow)
 	if prof.Total == 0 {
 		return simrun.Result{}, fmt.Errorf("engine: statistical: empty profile for %q", s.Name())
 	}
@@ -109,4 +123,68 @@ func statisticalRun(ctx context.Context, s *simrun.Scenario) (simrun.Result, err
 		TotalRetired: uint64(budget),
 		Wall:         time.Since(start),
 	}}, nil
+}
+
+// statStrata is the stratified-profiling slice count: the profile
+// window is split into this many equal slices spread evenly across the
+// scenario's measured span.
+const statStrata = 4
+
+// profileStream positions the profiler over the scenario's measured
+// region. Skippable streams with a span longer than the profile window
+// yield statProfileWarm warmup instructions ending at the span start,
+// then statStrata slices at even offsets through the span; anything
+// else (non-skippable streams, short spans) degrades to the plain
+// sequential stream.
+func profileStream(s *simrun.Scenario, budget int) trace.Stream {
+	g := workload.New(s.Profile(), 0, 1, s.SeedValue())
+	if !g.Skippable() || budget <= statProfileWindow {
+		return g
+	}
+	wstart := uint64(s.WarmupBudget())
+	warm := uint64(statProfileWarm)
+	if warm > wstart {
+		warm = wstart
+	}
+	if err := g.SkipTo(wstart - warm); err != nil {
+		return workload.New(s.Profile(), 0, 1, s.SeedValue())
+	}
+	per := uint64(statProfileWindow / statStrata)
+	stride := uint64(budget) / statStrata
+	st := &stratified{g: g, next: warm + per}
+	for i := uint64(1); i < statStrata; i++ {
+		st.starts = append(st.starts, wstart+i*stride)
+	}
+	st.per = per
+	return st
+}
+
+// stratified yields its generator's stream until the current slice is
+// exhausted, then skips the generator to the next stratum start. The
+// initial warmup run-in is folded into the first slice's budget by the
+// constructor.
+type stratified struct {
+	g      *workload.Generator
+	starts []uint64 // remaining stratum start positions
+	per    uint64   // instructions per stratum
+	next   uint64   // instructions to yield before the next skip
+	taken  uint64
+}
+
+func (s *stratified) Next() (isa.Inst, bool) {
+	if s.taken == s.next {
+		if len(s.starts) == 0 {
+			return isa.Inst{}, false
+		}
+		if err := s.g.SkipTo(s.starts[0]); err != nil {
+			return isa.Inst{}, false
+		}
+		s.starts = s.starts[1:]
+		s.next += s.per
+	}
+	in, ok := s.g.Next()
+	if ok {
+		s.taken++
+	}
+	return in, ok
 }

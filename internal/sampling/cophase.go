@@ -31,6 +31,13 @@ type CoPhaseConfig struct {
 	Machine config.Machine
 	// Model selects the core timing model for the matrix cells.
 	Model multicore.Model
+	// WarmupA and WarmupB optionally hold the instructions that executed
+	// before a and b (initialization the caller excluded from
+	// measurement). Every matrix cell functionally warms with this
+	// prefix before its in-stream prefix — without it, a representative
+	// near the stream start is timed against cold caches while the run
+	// it stands in for executes warm (the SMARTS cold-start problem).
+	WarmupA, WarmupB []isa.Inst
 }
 
 // CoPhaseResult is the outcome of a co-phase estimation.
@@ -128,9 +135,11 @@ func coCell(a, b []isa.Inst, startA, startB int, cfg CoPhaseConfig) (float64, fl
 	if endB > len(b) {
 		endB = len(b)
 	}
-	warmN := startA
-	if startB > warmN {
-		warmN = startB
+	warmA := append(append([]isa.Inst(nil), cfg.WarmupA...), a[:startA]...)
+	warmB := append(append([]isa.Inst(nil), cfg.WarmupB...), b[:startB]...)
+	warmN := len(warmA)
+	if len(warmB) > warmN {
+		warmN = len(warmB)
 	}
 	runCfg := multicore.RunConfig{
 		Machine: cfg.Machine,
@@ -139,8 +148,8 @@ func coCell(a, b []isa.Inst, startA, startB int, cfg CoPhaseConfig) (float64, fl
 	if warmN > 0 {
 		runCfg.WarmupInsts = warmN
 		runCfg.Warmup = []trace.Stream{
-			trace.NewSliceStream(a[:startA]),
-			trace.NewSliceStream(b[:startB]),
+			trace.NewSliceStream(warmA),
+			trace.NewSliceStream(warmB),
 		}
 	}
 	res := multicore.Run(runCfg, []trace.Stream{

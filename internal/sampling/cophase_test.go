@@ -65,6 +65,7 @@ func TestCoPhaseTracksActualCoRun(t *testing.T) {
 
 	res, err := CoPhaseEstimate(a, b, CoPhaseConfig{
 		IntervalLen: segLen, K: 2, Seed: 9, Machine: m, Model: multicore.Interval,
+		WarmupA: initA, WarmupB: initB,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -102,6 +102,14 @@ func Run(cfg Config, src trace.Stream, total int) (Result, error) {
 		if ff > total-consumed {
 			ff = total - consumed
 		}
+		// A contiguous regime (Period == Unit) has no gaps to sample
+		// around: time the whole remainder on one core. Restarting the
+		// pipeline at every unit boundary would charge a fill and a
+		// drain per unit — a harness artifact, not machine behaviour.
+		unitLen := cfg.Unit
+		if ff == 0 {
+			unitLen = total - consumed
+		}
 		for k := 0; k < ff; k++ {
 			in, ok := src.Next()
 			if !ok {
@@ -119,7 +127,7 @@ func Run(cfg Config, src trace.Stream, total int) (Result, error) {
 		// the (untimed) fast-forward accesses first.
 		mem.ResetStats()
 		bp.ResetStats()
-		unit := cfg.Unit
+		unit := unitLen
 		if unit > total-consumed {
 			unit = total - consumed
 		}
@@ -138,7 +146,7 @@ func Run(cfg Config, src trace.Stream, total int) (Result, error) {
 			c.Step(now)
 			now++
 		}
-		res.Units++
+		res.Units += (int(c.Retired()) + cfg.Unit - 1) / cfg.Unit
 		if cfg.perUnit != nil {
 			cfg.perUnit("unit %d: retired=%d cycles=%d ipc=%.3f",
 				res.Units, c.Retired(), c.FinishTime(),

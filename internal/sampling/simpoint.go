@@ -111,17 +111,68 @@ func dist2(a, b *[sigDim]float64) float64 {
 // Analyze slices insts into intervals, computes signatures and clusters
 // them with seeded k-means++ (deterministic for a given seed).
 func Analyze(insts []isa.Inst, cfg SimPointConfig) (*SimPoints, error) {
-	if cfg.IntervalLen <= 0 {
-		return nil, fmt.Errorf("simpoint: interval length %d", cfg.IntervalLen)
-	}
-	if cfg.K <= 0 {
-		return nil, fmt.Errorf("simpoint: k = %d", cfg.K)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	n := len(insts) / cfg.IntervalLen
 	if n == 0 {
 		return nil, fmt.Errorf("simpoint: %d instructions is less than one interval of %d",
 			len(insts), cfg.IntervalLen)
 	}
+	sigs := make([][sigDim]float64, n)
+	for i := 0; i < n; i++ {
+		sigs[i] = signature(insts[i*cfg.IntervalLen : (i+1)*cfg.IntervalLen])
+	}
+	return analyzeSigs(sigs, cfg), nil
+}
+
+// AnalyzeStream classifies the first total instructions of a stream
+// without materializing them: it buffers one interval at a time, folds
+// it into a signature and discards it, so the peak footprint is one
+// interval rather than the whole analysis window (the v2 engine
+// recorded a 1M-instruction prefix to call Analyze; stream format v3's
+// skip-ahead makes the recording pointless). For identical instructions
+// the result is bit-identical to Analyze.
+func AnalyzeStream(src trace.Stream, total int, cfg SimPointConfig) (*SimPoints, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := total / cfg.IntervalLen
+	if n == 0 {
+		return nil, fmt.Errorf("simpoint: %d instructions is less than one interval of %d",
+			total, cfg.IntervalLen)
+	}
+	buf := make([]isa.Inst, 0, cfg.IntervalLen)
+	sigs := make([][sigDim]float64, 0, n)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for len(buf) < cfg.IntervalLen {
+			in, ok := src.Next()
+			if !ok {
+				return nil, fmt.Errorf("simpoint: stream ended at instruction %d of %d",
+					i*cfg.IntervalLen+len(buf), n*cfg.IntervalLen)
+			}
+			buf = append(buf, in)
+		}
+		sigs = append(sigs, signature(buf))
+	}
+	return analyzeSigs(sigs, cfg), nil
+}
+
+func (cfg SimPointConfig) validate() error {
+	if cfg.IntervalLen <= 0 {
+		return fmt.Errorf("simpoint: interval length %d", cfg.IntervalLen)
+	}
+	if cfg.K <= 0 {
+		return fmt.Errorf("simpoint: k = %d", cfg.K)
+	}
+	return nil
+}
+
+// analyzeSigs clusters precomputed interval signatures with seeded
+// k-means++ — the shared back half of Analyze and AnalyzeStream.
+func analyzeSigs(sigs [][sigDim]float64, cfg SimPointConfig) *SimPoints {
+	n := len(sigs)
 	k := cfg.K
 	if k > n {
 		k = n
@@ -129,11 +180,6 @@ func Analyze(insts []isa.Inst, cfg SimPointConfig) (*SimPoints, error) {
 	maxIter := cfg.MaxIter
 	if maxIter <= 0 {
 		maxIter = 50
-	}
-
-	sigs := make([][sigDim]float64, n)
-	for i := 0; i < n; i++ {
-		sigs[i] = signature(insts[i*cfg.IntervalLen : (i+1)*cfg.IntervalLen])
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -218,7 +264,7 @@ func Analyze(insts []isa.Inst, cfg SimPointConfig) (*SimPoints, error) {
 	for i := range out.Assignments {
 		out.Assignments[i] = remap[out.Assignments[i]]
 	}
-	return out, nil
+	return out
 }
 
 // kmeansppInit seeds k centroids with the k-means++ rule.
@@ -257,6 +303,27 @@ func kmeansppInit(sigs [][sigDim]float64, k int, rng *rand.Rand) [][sigDim]float
 	return centroids
 }
 
+// timeInterval times one interval's stream on a fresh single core over
+// pre-warmed structures — the shared measurement step of EstimateIPC
+// and EstimateIPCSkip.
+func timeInterval(stream trace.Stream, bp *branch.Unit, mem *memhier.Hierarchy, machine config.Machine, model multicore.Model) (cycles int64, retired uint64, err error) {
+	var sc sim.Core
+	switch model {
+	case multicore.Detailed:
+		sc = ooo.New(0, machine.Core, bp, mem, stream, sim.NullSyncer{})
+	case multicore.Interval:
+		sc = core.New(0, machine.Core, bp, mem, stream, sim.NullSyncer{})
+	default:
+		return 0, 0, fmt.Errorf("simpoint: unsupported model %v", model)
+	}
+	var now int64
+	for !sc.Done() {
+		sc.Step(now)
+		now++
+	}
+	return sc.FinishTime(), sc.Retired(), nil
+}
+
 // EstimateIPC times one representative interval per phase (with full
 // functional warming up to the interval, as checkpoint-based SimPoint
 // deployments do) and combines them by cluster weight into a
@@ -282,25 +349,78 @@ func EstimateIPC(insts []isa.Inst, sp *SimPoints, machine config.Machine, model 
 		mem.ResetStats()
 		bp.ResetStats()
 
-		stream := trace.NewSliceStream(insts[start:end])
-		var sc sim.Core
-		switch model {
-		case multicore.Detailed:
-			sc = ooo.New(0, machine.Core, bp, mem, stream, sim.NullSyncer{})
-		case multicore.Interval:
-			sc = core.New(0, machine.Core, bp, mem, stream, sim.NullSyncer{})
-		default:
-			return 0, fmt.Errorf("simpoint: unsupported model %v", model)
+		cycles, retired, err := timeInterval(trace.NewSliceStream(insts[start:end]), bp, mem, machine, model)
+		if err != nil {
+			return 0, err
 		}
-		var now int64
-		for !sc.Done() {
-			sc.Step(now)
-			now++
-		}
-		if sc.Retired() == 0 {
+		if retired == 0 {
 			continue
 		}
-		cpi += sp.Weights[c] * float64(sc.FinishTime()) / float64(sc.Retired())
+		cpi += sp.Weights[c] * float64(cycles) / float64(retired)
+	}
+	if cpi == 0 {
+		return 0, fmt.Errorf("simpoint: no instructions timed")
+	}
+	return 1 / cpi, nil
+}
+
+// SkipStream is a replayable stream that can jump to an absolute
+// instruction index in O(1) — the contract workload generators satisfy
+// for skippable profiles (stream format v3) and the one EstimateIPCSkip
+// is built on.
+type SkipStream interface {
+	trace.Stream
+	SkipTo(n uint64) error
+}
+
+// EstimateIPCSkip times one representative interval per phase by
+// jumping straight to it: open yields a fresh stream per
+// representative, SkipTo lands warm instructions before the interval,
+// and only those warm instructions (not the whole prefix, as
+// EstimateIPC replays) pass through the caches and predictor before
+// measurement. warm is the functional-warming length in instructions;
+// longer warming converges on EstimateIPC's full-prefix warming at a
+// cost independent of where the representative sits in the stream.
+func EstimateIPCSkip(open func() SkipStream, sp *SimPoints, warm int, machine config.Machine, model multicore.Model) (float64, error) {
+	if machine.Cores != 1 {
+		return 0, fmt.Errorf("simpoint: single-core only (got %d cores)", machine.Cores)
+	}
+	if warm < 0 {
+		warm = 0
+	}
+	var cpi float64
+	for c := 0; c < sp.K; c++ {
+		rep := sp.Representatives[c]
+		start := rep * sp.IntervalLen
+		wStart := start - warm
+		if wStart < 0 {
+			wStart = 0
+		}
+
+		src := open()
+		if err := src.SkipTo(uint64(wStart)); err != nil {
+			return 0, fmt.Errorf("simpoint: skipping to %d: %w", wStart, err)
+		}
+		mem := memhier.New(1, machine.Mem, memhier.Perfect{})
+		bp := branch.NewUnit(machine.Branch)
+		for i := wStart; i < start; i++ {
+			in, ok := src.Next()
+			if !ok {
+				return 0, fmt.Errorf("simpoint: stream ended at %d while warming toward %d", i, start)
+			}
+			warmOne(mem, bp, &in)
+		}
+		mem.ResetStats()
+		bp.ResetStats()
+
+		cycles, retired, err := timeInterval(trace.NewLimit(src, sp.IntervalLen), bp, mem, machine, model)
+		if err != nil {
+			return 0, err
+		}
+		if retired == 0 {
+			continue
+		}
+		cpi += sp.Weights[c] * float64(cycles) / float64(retired)
 	}
 	if cpi == 0 {
 		return 0, fmt.Errorf("simpoint: no instructions timed")

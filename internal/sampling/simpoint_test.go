@@ -193,3 +193,74 @@ func TestSignatureDiscriminates(t *testing.T) {
 		t.Fatalf("signature does not discriminate: within=%g between=%g", within, between)
 	}
 }
+
+// TestAnalyzeStreamMatchesAnalyze: the streaming analysis must make
+// identical clustering decisions to the recorded one — same signatures,
+// same k-means, same selection — without materializing the stream.
+func TestAnalyzeStreamMatchesAnalyze(t *testing.T) {
+	insts := phasedStream("gcc", "swim", 2000, 12)
+	cfg := SimPointConfig{IntervalLen: 1500, K: 3, Seed: 5}
+	rec, err := Analyze(insts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := AnalyzeStream(trace.NewSliceStream(insts), len(insts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.IntervalLen != str.IntervalLen || rec.K != str.K {
+		t.Fatalf("shape differs: recorded (il=%d k=%d) streamed (il=%d k=%d)",
+			rec.IntervalLen, rec.K, str.IntervalLen, str.K)
+	}
+	for i := range rec.Assignments {
+		if rec.Assignments[i] != str.Assignments[i] {
+			t.Fatalf("assignment %d differs: recorded %d streamed %d", i, rec.Assignments[i], str.Assignments[i])
+		}
+	}
+	for i := range rec.Representatives {
+		if rec.Representatives[i] != str.Representatives[i] {
+			t.Fatalf("representative %d differs: recorded %d streamed %d", i, rec.Representatives[i], str.Representatives[i])
+		}
+	}
+}
+
+func TestAnalyzeStreamEndsEarly(t *testing.T) {
+	insts := phasedStream("gcc", "swim", 1000, 2)
+	if _, err := AnalyzeStream(trace.NewSliceStream(insts), len(insts)*2, SimPointConfig{IntervalLen: 1000, K: 2, Seed: 1}); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+// TestEstimateIPCSkipTracksFullRun: timing only the representatives,
+// each reached by skip-ahead with a bounded warmup window, must land
+// near the full run of the same stream.
+func TestEstimateIPCSkipTracksFullRun(t *testing.T) {
+	const total = 120_000
+	const warm = 20_000
+	p := workload.SPECByName("gcc")
+	m := config.Default(1)
+
+	for _, model := range []multicore.Model{multicore.Interval, multicore.Detailed} {
+		full := multicore.Run(multicore.RunConfig{
+			Machine: m, Model: model,
+		}, []trace.Stream{trace.NewLimit(workload.New(p, 0, 1, 42), total)})
+		fullIPC := full.Cores[0].IPC
+
+		sp, err := AnalyzeStream(workload.New(p, 0, 1, 42), total, SimPointConfig{
+			IntervalLen: 10_000, K: 3, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		open := func() SkipStream { return workload.New(p, 0, 1, 42) }
+		est, err := EstimateIPCSkip(open, sp, warm, m, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(est-fullIPC) / fullIPC
+		t.Logf("%v: full IPC %.3f, skip estimate %.3f (err %.1f%%)", model, fullIPC, est, 100*relErr)
+		if relErr > 0.15 {
+			t.Errorf("%v: skip estimate off by %.1f%%", model, 100*relErr)
+		}
+	}
+}

@@ -162,10 +162,11 @@ func TestSubmitValidation(t *testing.T) {
 		"unknown knob":  `{"bench":"gcc","fabric":"torus"}`,
 		"typo field":    `{"bench":"gcc","predcitor":"tage"}`,
 		"not json":      `hello`,
-		// A spec pinned to the pre-break stream format: its expected
-		// results no longer exist in this build, so it must be rejected,
-		// not silently renumbered.
-		"stale version": `{"bench":"gcc","version":1}`,
+		// Specs pinned to pre-break stream formats: their expected
+		// results no longer exist in this build, so they must be
+		// rejected, not silently renumbered.
+		"stale version v1": `{"bench":"gcc","version":1}`,
+		"stale version v2": `{"bench":"gcc","version":2}`,
 	} {
 		if _, status := postJob(t, ts, spec); status != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", name, status)
@@ -173,6 +174,38 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if _, status := getBody(t, ts.URL+"/v1/jobs/j-nope"); status != http.StatusNotFound {
 		t.Errorf("missing job: status != 404")
+	}
+}
+
+// TestSubmitStaleVersionMessage pins the rejection body of a v2-pinned
+// spec: the 400 must say which format the spec pinned, which one the
+// build speaks, and that the mismatch is deliberate — the operator's
+// only clue their expected results were renumbered by the v3 break.
+func TestSubmitStaleVersionMessage(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"gcc","version":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pinned to stream format v2",
+		fmt.Sprintf("speaks v%d", simrun.SpecVersion),
+		"deliberately incompatible",
+	} {
+		if !strings.Contains(body.Error, want) {
+			t.Errorf("rejection body missing %q: %s", want, body.Error)
+		}
 	}
 }
 

@@ -20,7 +20,13 @@ import (
 //
 // v2: workload stream format v2 — Mix copies run in disjoint
 // address-space slots, changing every Mix scenario's simulated outcome.
-const fingerprintVersion = 2
+//
+// v3: workload stream format v3 — the generator's sequential splitmix64
+// walk became a counter-based RNG with chunked state resets and the
+// math.Log geometric sampling became alias tables, changing every
+// generated instruction stream and therefore every scenario's simulated
+// outcome.
+const fingerprintVersion = 3
 
 // FingerprintVersion is the current scenario-fingerprint generation,
 // exported so front ends can report which generation their caches are

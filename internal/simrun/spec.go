@@ -152,9 +152,10 @@ func (sp Spec) Options() []Option {
 // SpecVersion is the wire format's current stream-format generation,
 // advanced in lockstep with workload.StreamVersion on every deliberate
 // stream break (v2: Mix copies in disjoint address-space slots — all Mix
-// results renumbered). Specs carrying any other non-zero Version are
-// rejected.
-const SpecVersion = 2
+// results renumbered; v3: counter-based RNG and tabulated geometric
+// sampling — all generated streams renumbered). Specs carrying any other
+// non-zero Version are rejected.
+const SpecVersion = 3
 
 // Scenario builds and validates the scenario the spec describes. A spec
 // pinned to a stale stream-format generation is rejected here, which is
@@ -162,7 +163,7 @@ const SpecVersion = 2
 // cmd/sweep -f batch files).
 func (sp Spec) Scenario() (*Scenario, error) {
 	if sp.Version != 0 && sp.Version != SpecVersion {
-		return nil, fmt.Errorf("simrun: spec is pinned to stream format v%d, this build speaks v%d: the formats are deliberately incompatible (v2 gave each Mix copy a disjoint address-space slot, renumbering all Mix results) — update the spec's version after reviewing its expected results", sp.Version, SpecVersion)
+		return nil, fmt.Errorf("simrun: spec is pinned to stream format v%d, this build speaks v%d: the formats are deliberately incompatible (v3 rebuilt the generator on a counter-based RNG with tabulated sampling, renumbering ALL generated results) — update the spec's version after reviewing its expected results", sp.Version, SpecVersion)
 	}
 	return New(sp.Bench, sp.Options()...)
 }

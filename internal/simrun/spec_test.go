@@ -1,6 +1,7 @@
 package simrun
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -134,7 +135,7 @@ func TestSpecVersionGate(t *testing.T) {
 			t.Errorf("version %d rejected: %v", v, err)
 		}
 	}
-	for _, v := range []int{1, SpecVersion + 1} {
+	for _, v := range []int{1, 2, SpecVersion + 1} {
 		_, err := (Spec{Version: v, Bench: "gcc"}).Scenario()
 		if err == nil {
 			t.Fatalf("stale spec version %d accepted", v)
@@ -158,12 +159,28 @@ func TestMixRejectsMoreCoresThanSlots(t *testing.T) {
 }
 
 // A stale version in a spec file's defaults poisons every scenario in
-// the batch, and the error names the entry.
+// the batch, and the error names the entry. This is the sweep -f
+// boundary: the usage error the operator reads must pin which format
+// the file carries, which one the build speaks, and that the v3 break
+// renumbered the file's expected results.
 func TestLoadSpecsStaleVersionRejected(t *testing.T) {
-	_, err := LoadSpecs(strings.NewReader(
-		`{"defaults":{"version":1},"scenarios":[{"bench":"gcc"}]}`))
-	if err == nil || !strings.Contains(err.Error(), "stream format") {
-		t.Fatalf("stale defaults version not rejected loudly: %v", err)
+	for _, stale := range []int{1, 2} {
+		_, err := LoadSpecs(strings.NewReader(fmt.Sprintf(
+			`{"defaults":{"version":%d},"scenarios":[{"bench":"gcc"}]}`, stale)))
+		if err == nil {
+			t.Fatalf("stale defaults version %d not rejected", stale)
+		}
+		msg := err.Error()
+		for _, want := range []string{
+			"scenario 1",
+			fmt.Sprintf("pinned to stream format v%d", stale),
+			fmt.Sprintf("speaks v%d", SpecVersion),
+			"deliberately incompatible",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("v%d rejection missing %q: %v", stale, want, err)
+			}
+		}
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 	"testing"
 )
 
-// mixScenario is the scenario class the v2 stream-format break
-// renumbered; the versioning guarantees are asserted against it.
+// mixScenario is the scenario class both the v2 and v3 stream-format
+// breaks renumbered; the versioning guarantees are asserted against it.
 func mixScenario(t *testing.T) *Scenario {
 	t.Helper()
 	s, err := New("", Mix("gcc", "mcf"), Insts(500))
@@ -18,13 +18,14 @@ func mixScenario(t *testing.T) *Scenario {
 	return s
 }
 
-// TestFingerprintVersionNeverCollides: the v1 fingerprint of a scenario
-// must never equal its v2 fingerprint — the whole point of the version
-// field is that results computed under the old stream format can never
-// be served for a new submission, whatever else the scenario spells.
+// TestFingerprintVersionNeverCollides: no stale fingerprint of a
+// scenario (v1 or v2) may ever equal its current (v3) fingerprint — the
+// whole point of the version field is that results computed under an
+// old stream format can never be served for a new submission, whatever
+// else the scenario spells.
 func TestFingerprintVersionNeverCollides(t *testing.T) {
-	if FingerprintVersion != 2 {
-		t.Fatalf("FingerprintVersion = %d, want 2 (update this test alongside the next deliberate break)", FingerprintVersion)
+	if FingerprintVersion != 3 {
+		t.Fatalf("FingerprintVersion = %d, want 3 (update this test alongside the next deliberate break)", FingerprintVersion)
 	}
 	for _, build := range []func(t *testing.T) *Scenario{
 		mixScenario,
@@ -37,39 +38,46 @@ func TestFingerprintVersionNeverCollides(t *testing.T) {
 		},
 	} {
 		s := build(t)
-		v1, err := s.fingerprintAt(1)
+		cur, err := s.Fingerprint()
 		if err != nil {
 			t.Fatal(err)
 		}
-		v2, err := s.Fingerprint()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if v1 == v2 {
-			t.Fatalf("scenario %q: v1 and v2 fingerprints collide: %s", s.Name(), v1)
+		for stale := 1; stale < FingerprintVersion; stale++ {
+			old, err := s.fingerprintAt(stale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if old == cur {
+				t.Fatalf("scenario %q: v%d and v%d fingerprints collide: %s", s.Name(), stale, FingerprintVersion, cur)
+			}
 		}
 	}
 }
 
-// TestCacheMissesAcrossVersionBump: a result cache primed with an entry
-// under the scenario's v1 key (what a pre-break simd deployment would
-// have persisted) must not serve it for a v2 submission — the submission
-// simulates fresh and is stored under the v2 key.
+// TestCacheMissesAcrossVersionBump: a result cache primed with entries
+// under the scenario's stale keys (what pre-break simd deployments
+// would have persisted under v1 and v2) must not serve them for a v3
+// submission — the submission simulates fresh and is stored under the
+// v3 key.
 func TestCacheMissesAcrossVersionBump(t *testing.T) {
 	dir := t.TempDir()
 	s := mixScenario(t)
-	v1, err := s.fingerprintAt(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	stale := []byte(`{"stale":"v1 payload"}`)
-	if err := os.WriteFile(filepath.Join(dir, v1+".json"), stale, 0o644); err != nil {
-		t.Fatal(err)
+	staleKeys := make(map[string]bool)
+	stale := []byte(`{"stale":"pre-v3 payload"}`)
+	for v := 1; v < FingerprintVersion; v++ {
+		key, err := s.fingerprintAt(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staleKeys[key] = true
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), stale, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	c, err := NewCache(CacheOpts{
 		Dir:    dir,
-		Encode: func(Result) ([]byte, error) { return []byte(`{"fresh":"v2 payload"}`), nil },
+		Encode: func(Result) ([]byte, error) { return []byte(`{"fresh":"v3 payload"}`), nil },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,12 +87,12 @@ func TestCacheMissesAcrossVersionBump(t *testing.T) {
 		t.Fatal(err)
 	}
 	if entry.Source != SourceRun {
-		t.Fatalf("v2 submission served from %q, want a fresh run (v1 entries must never match)", entry.Source)
+		t.Fatalf("v3 submission served from %q, want a fresh run (stale entries must never match)", entry.Source)
 	}
-	if entry.Key == v1 {
-		t.Fatal("v2 submission stored under the v1 key")
+	if staleKeys[entry.Key] {
+		t.Fatal("v3 submission stored under a stale key")
 	}
 	if string(entry.Payload) == string(stale) {
-		t.Fatal("v2 submission returned the stale v1 payload")
+		t.Fatal("v3 submission returned a stale payload")
 	}
 }

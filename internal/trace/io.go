@@ -21,10 +21,15 @@ import (
 // generation that produced it (so traces recorded before a deliberate
 // stream break are rejected loudly instead of silently timing stale
 // streams) and the address-space slot the stream was instantiated at.
+//
+// File version 3 marks the stream-format v3 break (counter-based RNG +
+// tabulated geometric sampling in the workload generator): the layout is
+// unchanged from v2, but v2 traces record streams no v3 generator can
+// reproduce, so they are rejected on replay with a re-record hint.
 
 const (
 	traceMagic   = uint32(0x49564c53) // "SLVI"
-	traceVersion = uint32(2)
+	traceVersion = uint32(3)
 	headerBytes  = 4 + 4 + 4 + 4                         // magic, file version, Header fields
 	recordBytes  = 8 + 8 + 1 + 1 + 1 + 1 + 8 + 1 + 8 + 2 // fields below
 )

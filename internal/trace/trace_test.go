@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -103,7 +104,7 @@ func TestTraceRoundTrip(t *testing.T) {
 		{Seq: 3, PC: 0x40000C, Class: isa.LockAcquire, SyncID: 7},
 	}
 	var buf bytes.Buffer
-	n, err := WriteTrace(&buf, NewSliceStream(src), 10, Header{StreamVersion: 2, Slot: 3})
+	n, err := WriteTrace(&buf, NewSliceStream(src), 10, Header{StreamVersion: 3, Slot: 3})
 	if err != nil || n != 4 {
 		t.Fatalf("WriteTrace = (%d,%v)", n, err)
 	}
@@ -111,7 +112,7 @@ func TestTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h := r.Header(); h.StreamVersion != 2 || h.Slot != 3 {
+	if h := r.Header(); h.StreamVersion != 3 || h.Slot != 3 {
 		t.Fatalf("header did not round-trip: %+v", h)
 	}
 	for i, want := range src {
@@ -137,19 +138,27 @@ func TestTraceBadHeader(t *testing.T) {
 	}
 }
 
-// A v1-era trace (old 8-byte header, no provenance fields) must be
-// rejected with an error that tells the user to re-record: the file
-// version only moves on a deliberate stream-format break.
+// Stale traces must be rejected with an error that tells the user to
+// re-record: the file version only moves on a deliberate stream-format
+// break. Covers both a v1-era trace (old 8-byte header, no provenance
+// fields) and a v2 trace (recorded before the v3 counter-RNG break),
+// asserting the message names the versions and the recovery path.
 func TestTraceStaleVersionRejected(t *testing.T) {
-	var hdr [16]byte
-	binary.LittleEndian.PutUint32(hdr[0:], 0x49564c53)
-	binary.LittleEndian.PutUint32(hdr[4:], 1)
-	_, err := NewReader(bytes.NewReader(hdr[:]))
-	if err == nil {
-		t.Fatal("v1 trace accepted")
-	}
-	if !strings.Contains(err.Error(), "re-record") {
-		t.Fatalf("stale-version error does not say how to recover: %v", err)
+	for _, stale := range []uint32{1, 2} {
+		var hdr [16]byte
+		binary.LittleEndian.PutUint32(hdr[0:], 0x49564c53)
+		binary.LittleEndian.PutUint32(hdr[4:], stale)
+		_, err := NewReader(bytes.NewReader(hdr[:]))
+		if err == nil {
+			t.Fatalf("v%d trace accepted", stale)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "re-record") {
+			t.Fatalf("stale-version error does not say how to recover: %v", err)
+		}
+		if !strings.Contains(msg, fmt.Sprintf("version %d", stale)) || !strings.Contains(msg, "v3") {
+			t.Fatalf("stale-version error does not name the versions: %v", err)
+		}
 	}
 }
 

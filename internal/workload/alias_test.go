@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// refGeometric is the v2 inverse-transform reference: the tabulated
+// samplers must stay distribution-faithful to it even though individual
+// draws differ. It mirrors the removed geometric() exactly (including
+// the hard cap).
+func refGeometric(u float64, mean float64) int {
+	if mean <= 1 {
+		return 0
+	}
+	if u <= 0 {
+		return 0
+	}
+	n := int(math.Log(u) / math.Log(1-1/mean))
+	if n < 0 {
+		n = 0
+	} else if n > 10000 {
+		n = 10000
+	}
+	return n
+}
+
+// sampleBoth draws n variates from the alias sampler and n from the
+// math.Log reference at fixed seeds and returns bucketed counts
+// (buckets 0..nBuckets-2 are exact values, the last bucket is the tail).
+func sampleBoth(mean float64, k, rounds, n, nBuckets int) (alias, ref []int, aliasMean, refMean float64) {
+	alias = make([]int, nBuckets)
+	ref = make([]int, nBuckets)
+	a := newAliasGeom(mean, k, rounds)
+	ar := newFastRand(12345)
+	rr := newFastRand(67890)
+	for i := 0; i < n; i++ {
+		x := a.sample(ar)
+		aliasMean += float64(x)
+		if x >= nBuckets-1 {
+			x = nBuckets - 1
+		}
+		alias[x]++
+
+		y := refGeometric(rr.Float64(), mean)
+		refMean += float64(y)
+		if y >= nBuckets-1 {
+			y = nBuckets - 1
+		}
+		ref[y]++
+	}
+	aliasMean /= float64(n)
+	refMean /= float64(n)
+	return
+}
+
+// TestAliasGeomMatchesClosedForm: chi-square of the alias sampler's
+// bucket counts against the closed-form geometric pmf. The bound is the
+// 99.9th percentile of the chi-square distribution for the bucket count,
+// so a correct sampler fails with probability ~1e-3 per mean — and the
+// seeds are fixed, so the test is deterministic.
+func TestAliasGeomMatchesClosedForm(t *testing.T) {
+	const n = 1_000_000
+	for _, tc := range []struct {
+		mean    float64
+		k       int
+		rounds  int
+		buckets int
+		chi2Max float64 // ~99.9th pct of chi2 with buckets-1 dof
+	}{
+		{mean: 3.5, k: 64, rounds: 1, buckets: 16, chi2Max: 37.7},
+		{mean: 12, k: 64, rounds: 1, buckets: 32, chi2Max: 61.1},
+		{mean: 30, k: 256, rounds: 8, buckets: 32, chi2Max: 61.1},
+		{mean: 400, k: 4096, rounds: 8, buckets: 24, chi2Max: 49.7},
+	} {
+		a := newAliasGeom(tc.mean, tc.k, tc.rounds)
+		rng := newFastRand(99)
+		counts := make([]int, tc.buckets)
+		for i := 0; i < n; i++ {
+			x := a.sample(rng)
+			if x >= tc.buckets-1 {
+				x = tc.buckets - 1
+			}
+			counts[x]++
+		}
+		q := 1 - 1/tc.mean
+		// Closed-form pmf per bucket; last bucket is the tail mass.
+		var chi2, cum float64
+		for b := 0; b < tc.buckets; b++ {
+			var pb float64
+			if b < tc.buckets-1 {
+				pb = math.Pow(q, float64(b)) * (1 - q)
+				cum += pb
+			} else {
+				pb = 1 - cum
+			}
+			exp := pb * n
+			if exp < 5 {
+				continue // chi-square invalid for tiny expectations
+			}
+			d := float64(counts[b]) - exp
+			chi2 += d * d / exp
+		}
+		if chi2 > tc.chi2Max {
+			t.Errorf("mean=%v: chi2=%.1f exceeds %.1f — alias table deviates from the closed-form geometric",
+				tc.mean, chi2, tc.chi2Max)
+		}
+	}
+}
+
+// TestAliasGeomMatchesLogReference: mean and tail mass of the alias
+// sampler against the v2 math.Log inverse-transform reference at fixed
+// seeds. Bytes differ (that is the point of v3); the distributions must
+// not.
+func TestAliasGeomMatchesLogReference(t *testing.T) {
+	const n = 500_000
+	for _, tc := range []struct {
+		mean   float64
+		k      int
+		rounds int
+	}{
+		{mean: 2.2, k: 64, rounds: 1},
+		{mean: 8, k: 64, rounds: 8},
+		{mean: 45, k: 512, rounds: 8},
+		{mean: 400, k: 4096, rounds: 8},
+	} {
+		nb := 32
+		alias, ref, am, rm := sampleBoth(tc.mean, tc.k, tc.rounds, n, nb)
+		// Means: geometric with success 1/mean has mean (mean-1); with
+		// n=500k samples the standard error of the sample mean is about
+		// mean/sqrt(n), so 5 standard errors is a deterministic-safe
+		// band for the fixed seeds.
+		tol := 5 * tc.mean / math.Sqrt(n)
+		if math.Abs(am-rm) > tol {
+			t.Errorf("mean=%v: alias sample mean %.4f vs log reference %.4f (tol %.4f)", tc.mean, am, rm, tol)
+		}
+		// Tail mass at the last bucket must agree within 5 sigma of the
+		// binomial deviation.
+		pa := float64(alias[nb-1]) / n
+		pr := float64(ref[nb-1]) / n
+		sigma := math.Sqrt(pr*(1-pr)/n) + 1e-9
+		if math.Abs(pa-pr) > 5*sigma+1e-4 {
+			t.Errorf("mean=%v: tail mass %.5f vs reference %.5f", tc.mean, pa, pr)
+		}
+	}
+}
+
+// TestAliasGeomEdgeCases: nil sampler (mean<=1) returns 0, matching the
+// v2 geometric(); truncation is bounded by rounds*(k-1).
+func TestAliasGeomEdgeCases(t *testing.T) {
+	var nilSampler *aliasGeom
+	if got := nilSampler.sample(newFastRand(1)); got != 0 {
+		t.Errorf("nil sampler returned %d", got)
+	}
+	if s := newAliasGeom(1.0, 64, 8); s != nil {
+		t.Error("mean=1 built a sampler")
+	}
+	if s := newAliasGeom(0.5, 64, 8); s != nil {
+		t.Error("mean<1 built a sampler")
+	}
+	a := newAliasGeom(1e9, 64, 2) // pathological mean: everything is tail
+	rng := newFastRand(7)
+	maxVal := a.rounds * int(a.mask)
+	for i := 0; i < 10_000; i++ {
+		if v := a.sample(rng); v > maxVal {
+			t.Fatalf("sample %d exceeds truncation bound %d", v, maxVal)
+		}
+	}
+}
+
+// TestProbCut: the integer thresholds preserve probabilities to 2^-32.
+func TestProbCut(t *testing.T) {
+	if probCut(0) != 0 || probCut(-1) != 0 {
+		t.Error("non-positive probability must never fire")
+	}
+	if probCut(1) != math.MaxUint64 || probCut(2) != math.MaxUint64 {
+		t.Error("certain probability must always fire")
+	}
+	const n = 1_000_000
+	for _, p := range []float64{0.01, 0.3, 0.5, 0.85} {
+		cut := probCut(p)
+		rng := newFastRand(31337)
+		hits := 0
+		for i := 0; i < n; i++ {
+			if rng.next() < cut {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if sigma := math.Sqrt(p * (1 - p) / n); math.Abs(got-p) > 5*sigma {
+			t.Errorf("probCut(%v): hit rate %.5f", p, got)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"hash/fnv"
-	"math"
 
 	"repro/internal/isa"
 )
@@ -24,10 +23,10 @@ const (
 
 type branchSite struct {
 	kind   siteKind
-	trip   int     // loop trip count
-	prob   float64 // taken probability for biased/random sites
-	target int     // taken-target block index within the function
-	count  int     // dynamic state: iterations since last exit
+	trip   int    // loop trip count
+	cut    uint64 // taken threshold (probCut) for biased/random sites
+	target int    // taken-target block index within the function
+	count  int    // dynamic state: iterations since last exit
 }
 
 type block struct {
@@ -59,15 +58,17 @@ type program struct {
 
 // buildProgram synthesizes the static CFG for a profile. base is the code
 // base address; kernel programs live at a distant base so user and system
-// code do not share I-cache lines.
-func buildProgram(p *Profile, rng *fastRand, base uint64, funcs, blocksPerFunc int, blockLen float64) *program {
+// code do not share I-cache lines. blen and trip are the profile's
+// tabulated block-length and loop-trip samplers (v3: alias tables replace
+// the inverse-transform math.Log draws).
+func buildProgram(p *Profile, rng *fastRand, blen, trip *aliasGeom, base uint64, funcs, blocksPerFunc int) *program {
 	prog := &program{}
 	pc := base
 	for f := 0; f < funcs; f++ {
 		var fn function
 		for b := 0; b < blocksPerFunc; b++ {
 			bl := block{startPC: pc}
-			bl.bodyLen = 1 + geometric(rng, blockLen)
+			bl.bodyLen = 1 + blen.sample(rng)
 			pc += uint64(bl.bodyLen+1) * 4
 
 			switch {
@@ -79,7 +80,7 @@ func buildProgram(p *Profile, rng *fastRand, base uint64, funcs, blocksPerFunc i
 			default:
 				bl.term = termBranch
 				bl.site = len(fn.sites)
-				fn.sites = append(fn.sites, makeSite(p, rng, b, blocksPerFunc))
+				fn.sites = append(fn.sites, makeSite(p, rng, trip, b, blocksPerFunc))
 			}
 			fn.blocks = append(fn.blocks, bl)
 		}
@@ -98,18 +99,18 @@ func callFrac(p *Profile) float64 {
 	return p.Mix.Call
 }
 
-func makeSite(p *Profile, rng *fastRand, blockIdx, nBlocks int) branchSite {
+func makeSite(p *Profile, rng *fastRand, trip *aliasGeom, blockIdx, nBlocks int) branchSite {
 	r := rng.Float64()
 	switch {
 	case r < p.LoopFrac && blockIdx > 0:
-		trip := 2 + geometric(rng, p.LoopTripMean)
+		t := 2 + trip.sample(rng)
 		// Back edge to a nearby earlier block.
 		back := blockIdx - 1 - rng.Intn(min(blockIdx, 4))
-		return branchSite{kind: siteLoop, trip: trip, target: back}
+		return branchSite{kind: siteLoop, trip: t, target: back}
 	case r < p.LoopFrac+p.BiasedFrac:
-		return branchSite{kind: siteBiased, prob: p.BiasedProb, target: fwdTarget(rng, blockIdx, nBlocks)}
+		return branchSite{kind: siteBiased, cut: probCut(p.BiasedProb), target: fwdTarget(rng, blockIdx, nBlocks)}
 	default:
-		return branchSite{kind: siteRandom, prob: p.RandomProb, target: fwdTarget(rng, blockIdx, nBlocks)}
+		return branchSite{kind: siteRandom, cut: probCut(p.RandomProb), target: fwdTarget(rng, blockIdx, nBlocks)}
 	}
 }
 
@@ -118,25 +119,6 @@ func fwdTarget(rng *fastRand, blockIdx, nBlocks int) int {
 		return nBlocks - 1
 	}
 	return blockIdx + 1 + rng.Intn(nBlocks-blockIdx-1)
-}
-
-func geometric(rng *fastRand, mean float64) int {
-	if mean <= 1 {
-		return 0
-	}
-	// Inverse-transform sampling: one draw instead of a rejection loop
-	// (the generator sits on every simulated instruction's hot path).
-	u := rng.Float64()
-	if u <= 0 {
-		return 0
-	}
-	n := int(math.Log(u) / math.Log(1-1/mean))
-	if n < 0 {
-		n = 0
-	} else if n > 10000 {
-		n = 10000
-	}
-	return n
 }
 
 func min(a, b int) int {
@@ -154,15 +136,18 @@ func staticSeed(name string) int64 {
 	return int64(h.Sum64() & 0x7FFFFFFFFFFFFFFF)
 }
 
-// fastRand is a splitmix64 PRNG. The generator sits on the hot path of
-// every simulated instruction in both timing models; math/rand's interface
-// indirection is measurable there.
+// fastRand is a sequential splitmix64 PRNG. Since v3 it drives only the
+// off-hot-path draws that never need jump-ahead: static program
+// construction (a property of the profile name) and the synchronization
+// schedule of multi-threaded profiles (which pins those streams to
+// sequential generation anyway — see Skippable). The dynamic
+// per-instruction draws use the counter-based ctrRand.
 type fastRand struct{ s uint64 }
 
 func newFastRand(seed int64) *fastRand { return &fastRand{s: uint64(seed)} }
 
 func (r *fastRand) next() uint64 {
-	r.s += 0x9E3779B97F4A7C15
+	r.s += splitmixGamma
 	z := r.s
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
@@ -172,8 +157,6 @@ func (r *fastRand) next() uint64 {
 func (r *fastRand) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
 
 func (r *fastRand) Intn(n int) int { return int(r.next() % uint64(n)) }
-
-func (r *fastRand) Int63() int64 { return int64(r.next() >> 1) }
 
 // frame is one call-stack entry of the interpreter.
 type frame struct {
@@ -189,13 +172,23 @@ type regionState struct {
 
 // StreamVersion is the stream-format generation this package produces.
 // It changes only on a deliberate break of the bit-identical-stream
-// guarantee (v2: multi-program copies are instantiated at disjoint
-// address-space slots, see NewSlot). Consumers that persist streams or
-// stream-derived results (the trace file header, the simrun scenario
-// fingerprint) record it so artifacts of one generation are never mixed
-// with another's; the break/bump procedure is documented in
+// guarantee (v2: multi-program copies at disjoint address-space slots;
+// v3: counter-based RNG with chunked O(1) skip-ahead and tabulated
+// geometric draws — every stream renumbered). Consumers that persist
+// streams or stream-derived results (the trace file header, the simrun
+// scenario fingerprint) record it so artifacts of one generation are
+// never mixed with another's; the break/bump procedure is documented in
 // docs/formats.md.
-const StreamVersion = 2
+const StreamVersion = 3
+
+// ChunkLen is the v3 skip-ahead chunk length: every ChunkLen stream
+// positions the generator's dynamic interpreter state (control flow,
+// dataflow ring, region cursors) resets to a value derived purely from
+// the chunk index, so SkipTo reaches any position by deriving the
+// enclosing chunk's state in O(1) and replaying at most ChunkLen-1
+// instructions. The resets are part of the v3 stream itself — skipping
+// and straight generation produce byte-identical instructions.
+const ChunkLen = 131072
 
 // SlotStride is the address-space distance between two slots: slot k's
 // code and data live exactly k*SlotStride above slot 0's. It is a power
@@ -215,24 +208,34 @@ const MaxSlots = 256
 // dynamic instruction stream of one thread. It implements trace.Stream and
 // is fully deterministic given (profile, thread, threads, seed, slot).
 type Generator struct {
-	p         *Profile
-	rng       *fastRand
-	invLogDep float64 // 1/log(1-1/DepDistMean), precomputed
-	user      *program
-	kernel    *program
-	thread    int
-	threads   int
-	slotBase  uint64 // slot * SlotStride, added to every code/data base
+	p        *Profile
+	rng      ctrRand   // counter-based: dynamic per-instruction draws
+	syncRng  *fastRand // sequential: synchronization schedule only
+	phaseKey uint64    // static per-profile key for phase-anchor draws
+	user     *program
+	kernel   *program
+	thread   int
+	threads  int
+	slotBase uint64 // slot * SlotStride, added to every code/data base
 
-	// Cumulative non-branch mix thresholds, precomputed so bodyInst does
-	// one draw and a threshold walk instead of re-summing the mix per
-	// instruction (it runs once per simulated instruction).
-	mixNonBranch float64
-	cumLoad      float64 // Load
-	cumStore     float64 // Load+Store
-	cumMul       float64 // +IntMul
-	cumDiv       float64 // +IntDiv
-	cumFP        float64 // +FP
+	// Tabulated samplers and integer draw thresholds, precomputed so the
+	// per-instruction path is table probes and compares (v3: no float
+	// conversions, no math.Log).
+	depDist    *aliasGeom // register dependence distances
+	kernSeg    *aliasGeom // kernel segment lengths
+	critLen    *aliasGeom // critical-section lengths (syncRng-driven)
+	chainCut   uint64
+	kernCut    uint64
+	chaseCut   uint64
+	cutLoad    uint64
+	cutStore   uint64
+	cutMul     uint64
+	cutDiv     uint64
+	cutFP      uint64
+	regionCut  []uint64
+	chunkStep  []uint64 // expected cursor advance per chunk, stride units
+	writeCut   []uint64
+	chainClass isa.Class
 
 	// Interpreter state.
 	inKernel  bool
@@ -242,6 +245,7 @@ type Generator struct {
 	pos       int // next body instruction index within current block
 	callStack []frame
 	kstack    []frame
+	nextReset uint64 // stream position of the next chunk-state reset
 
 	// Register dataflow state. Values are iteration-local: the ring is
 	// cleared on loop back-edges, and a designated accumulator register
@@ -256,20 +260,20 @@ type Generator struct {
 
 	// Memory state.
 	regions    []regionState
-	regionCum  []float64 // cumulative probabilities
 	lastRegion int
 
 	// Serializing/system bookkeeping.
 	untilSerialize int
 
 	// Multi-threading bookkeeping.
-	budget       uint64 // remaining instructions; ^0 = unbounded
-	sinceBarrier uint64
-	barrierAt    uint64 // emit a barrier when sinceBarrier reaches this
-	untilLock    int
-	critLeft     int // >0 while inside a critical section
-	heldLock     uint16
-	pendingSync  []isa.Inst
+	budget        uint64 // remaining instructions; ^0 = unbounded
+	initialBudget uint64
+	sinceBarrier  uint64
+	barrierAt     uint64 // emit a barrier when sinceBarrier reaches this
+	untilLock     int
+	critLeft      int // >0 while inside a critical section
+	heldLock      uint16
+	pendingSync   []isa.Inst
 
 	// Statistics for tests.
 	Emitted uint64
@@ -293,8 +297,18 @@ func New(p *Profile, thread, threads int, seed int64) *Generator {
 // never alias cache lines in the shared hierarchy (no phantom coherence
 // traffic) and the host-parallel engine can run them concurrently.
 func NewSlot(p *Profile, thread, threads int, seed int64, slot int) *Generator {
+	return newSlotSalted(p, thread, threads, seed, slot, programSalt(p))
+}
+
+// newSlotSalted is NewSlot with an explicit static-program salt —
+// the constructor the calibration probe uses to evaluate candidate
+// program realizations without recursing through programSalt.
+func newSlotSalted(p *Profile, thread, threads int, seed int64, slot int, salt uint64) *Generator {
 	if slot < 0 || slot >= MaxSlots {
 		panic(fmt.Sprintf("workload: slot %d out of range [0,%d) — slots beyond the range would alias address spaces", slot, MaxSlots))
+	}
+	if len(p.Regions) > 48 {
+		panic(fmt.Sprintf("workload: profile %q has %d regions, more than the chunk-reset draw budget covers", p.Name, len(p.Regions)))
 	}
 	// The static program (CFG, branch sites, code layout) must be
 	// identical across threads AND across seeds: it is the benchmark's
@@ -302,7 +316,7 @@ func NewSlot(p *Profile, thread, threads int, seed int64, slot int) *Generator {
 	// varies with the seed, so a warmup stream with a different seed
 	// trains the same predictor sites and touches the same regions
 	// without replaying the exact future line sequence.
-	progRng := newFastRand(staticSeed(p.Name))
+	progRng := newFastRand(staticSeed(p.Name) ^ int64(salt*splitmixGamma))
 	slotBase := uint64(slot) * SlotStride
 	blockLen := p.BlockLenMean
 	if blockLen <= 0 {
@@ -312,39 +326,57 @@ func NewSlot(p *Profile, thread, threads int, seed int64, slot int) *Generator {
 			blockLen = 16
 		}
 	}
+	key := uint64(seed ^ int64(thread)*0x5E3779B97F4A7C15)
+	blen := newAliasGeom(blockLen, geomTableSize(blockLen), 8)
+	trip := newAliasGeom(p.LoopTripMean, geomTableSize(p.LoopTripMean), 8)
 	g := &Generator{
 		p:        p,
-		rng:      newFastRand(seed ^ int64(thread)*0x5E3779B97F4A7C15),
-		user:     buildProgram(p, progRng, slotBase+0x400000, p.Funcs, p.BlocksPerFunc, blockLen),
+		rng:      ctrRand{key: key},
+		syncRng:  newFastRand(seed ^ int64(thread)*0x5E3779B97F4A7C15),
+		phaseKey: uint64(staticSeed(p.Name)),
+		user:     buildProgram(p, progRng, blen, trip, slotBase+0x400000, p.Funcs, p.BlocksPerFunc),
 		thread:   thread,
 		threads:  threads,
 		slotBase: slotBase,
 		nextDst:  8,
 		budget:   ^uint64(0),
 	}
+	g.initialBudget = g.budget
 	if p.DepDistMean > 1 {
-		g.invLogDep = 1 / math.Log(1-1/p.DepDistMean)
+		// 64 outcomes cover every consumer: distances at or beyond the
+		// 32-entry dataflow ring resolve to an ambient register.
+		g.depDist = newAliasGeom(p.DepDistMean, 64, 1)
 	}
-	// The cumulative thresholds and the total reproduce the summation
-	// order of the original per-instruction expressions exactly —
-	// float addition is not associative, and a different rounding in the
-	// scale factor would shift class boundaries by an ulp and diverge the
-	// generated stream.
 	m := &p.Mix
-	g.cumLoad = m.Load
-	g.cumStore = m.Load + m.Store
-	g.cumMul = m.Load + m.Store + m.IntMul
-	g.cumDiv = m.Load + m.Store + m.IntMul + m.IntDiv
-	g.cumFP = m.Load + m.Store + m.IntMul + m.IntDiv + m.FP
-	g.mixNonBranch = m.IntALU + m.IntMul + m.IntDiv + m.FP + m.Load + m.Store
+	nonBranch := m.IntALU + m.IntMul + m.IntDiv + m.FP + m.Load + m.Store
+	if nonBranch > 0 {
+		g.cutLoad = probCut(m.Load / nonBranch)
+		g.cutStore = probCut((m.Load + m.Store) / nonBranch)
+		g.cutMul = probCut((m.Load + m.Store + m.IntMul) / nonBranch)
+		g.cutDiv = probCut((m.Load + m.Store + m.IntMul + m.IntDiv) / nonBranch)
+		g.cutFP = probCut((m.Load + m.Store + m.IntMul + m.IntDiv + m.FP) / nonBranch)
+	}
+	g.chainCut = probCut(p.ChainFrac)
+	g.chaseCut = probCut(p.PointerChase)
+	g.chainClass = isa.IntALU
+	if p.Mix.FP >= 0.25 {
+		g.chainClass = isa.FPOp
+	}
 	g.lastLoad = isa.RegNone
 	if p.SystemFrac > 0 {
 		// Kernel code: one big function with many blocks, distant base.
-		g.kernel = buildProgram(p, progRng, slotBase+0x80000000, 2, 192, blockLen)
+		// An average segment of ~400 instructions gives an overall
+		// in-kernel fraction of about SystemFrac.
+		g.kernel = buildProgram(p, progRng, blen, trip, slotBase+0x80000000, 2, 192)
+		g.kernCut = probCut(p.SystemFrac / 400)
+		g.kernSeg = newAliasGeom(400, geomTableSize(400), 8)
+	}
+	if p.CritLen > 1 {
+		g.critLen = newAliasGeom(p.CritLen, geomTableSize(p.CritLen), 8)
 	}
 	g.initRegions()
 	g.initSync()
-	g.untilSerialize = g.serializePeriod()
+	g.untilSerialize = -1 // derived at the first chunk reset
 	return g
 }
 
@@ -356,20 +388,28 @@ func (g *Generator) initRegions() {
 			// Private regions are disjoint per thread.
 			base += uint64(g.thread+1) << 44
 		}
-		var cursor uint64
-		if r.Stride > 0 && r.Bytes > 0 {
-			// Start streaming at a seed-dependent offset so warmup
-			// and measurement do not walk identical lines.
-			cursor = (uint64(g.rng.Int63()) % (r.Bytes / r.Stride)) * r.Stride
-		}
-		g.regions = append(g.regions, regionState{base: base, cursor: cursor})
+		// Cursors are dynamic state: the chunk-0 reset derives them
+		// before the first instruction, so they start at zero here.
+		g.regions = append(g.regions, regionState{base: base})
 		cum += r.Prob
-		g.regionCum = append(g.regionCum, cum)
+		g.regionCut = append(g.regionCut, 0)
+		g.writeCut = append(g.writeCut, probCut(r.WriteFrac))
 	}
-	// Normalize.
+	// Normalize into integer cut points, and precompute each strided
+	// region's expected cursor advance per chunk (accesses per chunk in
+	// stride units): memory fraction of the mix times the region's share
+	// of accesses times the chunk length. resetChunk uses it to continue
+	// the stride walk across chunk boundaries.
+	memFrac := g.p.Mix.Load + g.p.Mix.Store
+	g.chunkStep = make([]uint64, len(g.p.Regions))
 	if cum > 0 {
-		for i := range g.regionCum {
-			g.regionCum[i] /= cum
+		var acc float64
+		for i, r := range g.p.Regions {
+			acc += r.Prob
+			g.regionCut[i] = probCut(acc / cum)
+			if r.Stride > 0 && r.Bytes > 0 {
+				g.chunkStep[i] = uint64(float64(ChunkLen) * memFrac * (r.Prob / cum))
+			}
 		}
 	}
 }
@@ -378,12 +418,13 @@ func (g *Generator) initSync() {
 	p := g.p
 	if p.TotalWork > 0 && g.threads > 0 {
 		g.budget = g.shareOfWork()
+		g.initialBudget = g.budget
 	}
 	if p.BarrierEvery > 0 {
 		g.barrierAt = g.scaledBarrierInterval()
 	}
 	if p.LockEvery > 0 && p.Locks > 0 {
-		g.untilLock = p.LockEvery/2 + g.rng.Intn(p.LockEvery)
+		g.untilLock = p.LockEvery/2 + g.syncRng.Intn(p.LockEvery)
 	}
 }
 
@@ -437,6 +478,8 @@ func (g *Generator) scaledBarrierInterval() uint64 {
 	return iv
 }
 
+// serializePeriod derives the distance to the next serializing
+// instruction from the current instruction's draw budget.
 func (g *Generator) serializePeriod() int {
 	period := g.p.SerializeEvery
 	if g.inKernel {
@@ -446,6 +489,132 @@ func (g *Generator) serializePeriod() int {
 		return -1
 	}
 	return period/2 + g.rng.Intn(period+1)
+}
+
+// Skippable reports whether the stream supports O(1) SkipTo. Streams
+// with synchronization structure (barriers, locks) carry sequential
+// schedule state that no chunk reset covers, so they fall back to
+// generate-and-discard skipping.
+func (g *Generator) Skippable() bool {
+	p := g.p
+	return p.BarrierEvery <= 0 && !(p.LockEvery > 0 && p.Locks > 0)
+}
+
+// SkipTo positions the stream at position n: the next instruction
+// returned by Next carries Seq n, and the stream from here on is
+// byte-identical to generating n instructions from a fresh generator
+// and discarding them — the core v3 contract, fuzz-tested in
+// FuzzSkipAhead. For Skippable streams the cost is O(1): the enclosing
+// chunk's state is derived directly from the chunk index and at most
+// ChunkLen-1 instructions are replayed, independent of n. Streams with
+// synchronization structure fall back to sequential generate-and-
+// discard and reject backward skips.
+func (g *Generator) SkipTo(n uint64) error {
+	if !g.Skippable() {
+		if n < g.seq {
+			return fmt.Errorf("workload: SkipTo(%d) backward from %d: stream %q has synchronization state and only skips forward", n, g.seq, g.p.Name)
+		}
+		for g.seq < n {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+		}
+		return nil
+	}
+	chunk := n / ChunkLen
+	g.resetChunk(chunk)
+	g.seq = chunk * ChunkLen
+	g.Emitted = g.seq
+	g.budget = g.initialBudget
+	if g.initialBudget != ^uint64(0) {
+		if g.seq >= g.initialBudget {
+			g.budget = 0
+		} else {
+			g.budget = g.initialBudget - g.seq
+		}
+	}
+	for g.seq < n {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+	}
+	return nil
+}
+
+// resetChunk derives the generator's dynamic interpreter state for the
+// start of the given chunk, purely from the chunk index (reset-lane
+// draws). It deliberately leaves the synchronization bookkeeping
+// (budget, barrier/lock schedule) untouched: that state is sequential,
+// and profiles that use it are not Skippable.
+func (g *Generator) resetChunk(chunk uint64) {
+	g.nextReset = (chunk + 1) * ChunkLen
+	base := resetLane + chunk*resetStride
+
+	// Control flow: restart interpretation at a phase-anchored function.
+	// The anchor is drawn per phase (phaseChunks consecutive chunks), not
+	// per chunk: a per-chunk draw would rerandomize the code signature
+	// every ChunkLen instructions, destroying the phase stability that
+	// code-signature analyses (SimPoint clustering) depend on. And it is
+	// drawn from the static per-profile key, not the stream seed: the
+	// phase sequence is a property of the benchmark binary, so streams
+	// with different seeds (a warmup stream, say) visit the same code
+	// regions. A phase is still a pure function of the chunk index, so
+	// skip-ahead is intact.
+	phase := chunk / phaseChunks
+	g.cur = frame{fn: int(ctrDraw(g.phaseKey, phaseLane+phase) % uint64(len(g.user.funcs)))}
+	g.pos = 0
+	g.callStack = g.callStack[:0]
+	g.inKernel = false
+	g.kernLeft = 0
+	g.kcur = frame{}
+	g.kstack = g.kstack[:0]
+	clearSiteCounts(g.user)
+	if g.kernel != nil {
+		clearSiteCounts(g.kernel)
+	}
+
+	// Dataflow.
+	g.ringLen, g.ringHead = 0, 0
+	g.nextDst = 8
+	g.lastLoad = isa.RegNone
+
+	// Memory: streaming cursors continue, not restart. Each chunk's
+	// cursor is the stream's per-region start offset advanced by the
+	// expected number of accesses all previous chunks made (chunkStep,
+	// in stride units) — a pure function of the chunk index that tracks
+	// where a sequential walk would actually be, so a reset does not
+	// inject a burst of cold misses the way a rerandomized cursor would
+	// (the detailed core serializes those misses; the interval model
+	// does not, and the fidelity gap shows up in miss-bound profiles).
+	g.lastRegion = 0
+	for i := range g.regions {
+		spec := &g.p.Regions[i]
+		g.regions[i].cursor = 0
+		if spec.Stride > 0 && spec.Bytes > 0 {
+			slots := spec.Bytes / spec.Stride
+			if slots == 0 {
+				slots = 1
+			}
+			start := ctrDraw(g.rng.key, cursorLane+uint64(i)) % slots
+			g.regions[i].cursor = ((start + chunk*g.chunkStep[i]) % slots) * spec.Stride
+		}
+	}
+
+	// Serialization phase.
+	if period := g.p.SerializeEvery; period > 0 {
+		g.untilSerialize = period/2 + int(ctrDraw(g.rng.key, base+1)%uint64(period+1))
+	} else {
+		g.untilSerialize = -1
+	}
+}
+
+func clearSiteCounts(prog *program) {
+	for f := range prog.funcs {
+		sites := prog.funcs[f].sites
+		for i := range sites {
+			sites[i].count = 0
+		}
+	}
 }
 
 // Next implements trace.Stream.
@@ -461,8 +630,13 @@ func (g *Generator) Next() (isa.Inst, bool) {
 	if g.budget == 0 {
 		return isa.Inst{}, false
 	}
+	if g.seq >= g.nextReset {
+		g.resetChunk(g.seq / ChunkLen)
+	}
 	g.budget--
 
+	// Position the counter-based RNG on this instruction's draw window.
+	g.rng.ctr = g.seq * drawStride
 	in := g.synthesize()
 	in.Seq = g.seq
 	g.seq++
@@ -487,7 +661,10 @@ func (g *Generator) NextBatch(buf []isa.Inst) int {
 }
 
 // accountSync updates barrier/lock bookkeeping after emitting in and queues
-// any synchronization instructions that must follow.
+// any synchronization instructions that must follow. Its draws come from
+// the sequential syncRng: profiles with synchronization structure are
+// pinned to sequential generation (see Skippable), so the schedule needs
+// no jump-ahead.
 func (g *Generator) accountSync(in *isa.Inst) {
 	p := g.p
 	if p.BarrierEvery > 0 && g.budget > 0 {
@@ -507,9 +684,9 @@ func (g *Generator) accountSync(in *isa.Inst) {
 		} else {
 			g.untilLock--
 			if g.untilLock <= 0 {
-				g.untilLock = p.LockEvery/2 + g.rng.Intn(p.LockEvery)
-				g.heldLock = uint16(g.rng.Intn(p.Locks))
-				g.critLeft = 1 + geometric(g.rng, p.CritLen)
+				g.untilLock = p.LockEvery/2 + g.syncRng.Intn(p.LockEvery)
+				g.heldLock = uint16(g.syncRng.Intn(p.Locks))
+				g.critLeft = 1 + g.critLen.sample(g.syncRng)
 				g.pendingSync = append(g.pendingSync,
 					isa.Inst{Class: isa.LockAcquire, SyncID: g.heldLock})
 			}
@@ -526,11 +703,9 @@ func (g *Generator) synthesize() isa.Inst {
 				g.inKernel = false
 				g.untilSerialize = g.serializePeriod()
 			}
-		} else if g.rng.Float64() < g.p.SystemFrac/400 {
-			// Average segment of ~400 instructions gives an overall
-			// in-kernel fraction of about SystemFrac.
+		} else if g.rng.next() < g.kernCut {
 			g.inKernel = true
-			g.kernLeft = 200 + geometric(g.rng, 400)
+			g.kernLeft = 200 + g.kernSeg.sample(&g.rng)
 			g.kcur = frame{fn: 0, block: 0}
 			g.untilSerialize = g.serializePeriod()
 		}
@@ -635,10 +810,8 @@ func (g *Generator) evalSite(s *branchSite) bool {
 		}
 		s.count = 0
 		return false
-	case siteBiased:
-		return g.rng.Float64() < s.prob
 	default:
-		return g.rng.Float64() < s.prob
+		return g.rng.next() < s.cut
 	}
 }
 
@@ -648,30 +821,26 @@ func (g *Generator) evalSite(s *branchSite) bool {
 const accumReg = 7
 
 func (g *Generator) bodyInst(pc uint64) isa.Inst {
-	if g.p.ChainFrac > 0 && g.rng.Float64() < g.p.ChainFrac {
+	if g.chainCut != 0 && g.rng.next() < g.chainCut {
 		// Extend the loop-carried chain: acc = f(acc, recent value).
 		// Floating-point codes accumulate through the FP pipeline
 		// (reductions, recurrences), integer codes through the ALU.
-		class := isa.IntALU
-		if g.p.Mix.FP >= 0.25 {
-			class = isa.FPOp
-		}
 		return isa.Inst{
-			Class: class, PC: pc,
+			Class: g.chainClass, PC: pc,
 			Src1: accumReg, Src2: g.pickSrc(), Dst: accumReg,
 		}
 	}
-	r := g.rng.Float64() * g.mixNonBranch
+	u := g.rng.next()
 	switch {
-	case r < g.cumLoad:
+	case u < g.cutLoad:
 		return g.loadInst(pc)
-	case r < g.cumStore:
+	case u < g.cutStore:
 		return g.storeInst(pc)
-	case r < g.cumMul:
+	case u < g.cutMul:
 		return g.aluInst(pc, isa.IntMul)
-	case r < g.cumDiv:
+	case u < g.cutDiv:
 		return g.aluInst(pc, isa.IntDiv)
-	case r < g.cumFP:
+	case u < g.cutFP:
 		return g.aluInst(pc, isa.FPOp)
 	default:
 		return g.aluInst(pc, isa.IntALU)
@@ -688,7 +857,7 @@ func (g *Generator) aluInst(pc uint64, class isa.Class) isa.Inst {
 }
 
 func (g *Generator) loadInst(pc uint64) isa.Inst {
-	chase := g.lastLoad != isa.RegNone && g.rng.Float64() < g.p.PointerChase
+	chase := g.lastLoad != isa.RegNone && g.chaseCut != 0 && g.rng.next() < g.chaseCut
 	addr, strided := g.pickAddr(chase)
 	var src1 uint8
 	switch {
@@ -705,11 +874,12 @@ func (g *Generator) loadInst(pc uint64) isa.Inst {
 	}
 	// Shared regions with a write fraction convert some of their
 	// accesses into stores (coherence/invalidation traffic).
-	if spec := &g.p.Regions[g.lastRegion]; spec.WriteFrac > 0 &&
-		g.rng.Float64() < spec.WriteFrac {
-		return isa.Inst{
-			Class: isa.Store, PC: pc, Addr: addr,
-			Src1: src1, Src2: g.pickSrc(), Dst: isa.RegNone,
+	if len(g.writeCut) > 0 {
+		if cut := g.writeCut[g.lastRegion]; cut != 0 && g.rng.next() < cut {
+			return isa.Inst{
+				Class: isa.Store, PC: pc, Addr: addr,
+				Src1: src1, Src2: g.pickSrc(), Dst: isa.RegNone,
+			}
 		}
 	}
 	dst := g.allocDst()
@@ -737,8 +907,8 @@ func (g *Generator) pickAddr(chase bool) (addr uint64, strided bool) {
 	}
 	idx := 0
 	if !chase {
-		r := g.rng.Float64()
-		for idx < len(g.regionCum)-1 && r >= g.regionCum[idx] {
+		u := g.rng.next()
+		for idx < len(g.regionCut)-1 && u >= g.regionCut[idx] {
 			idx++
 		}
 	} else {
@@ -762,17 +932,14 @@ func (g *Generator) pickAddr(chase bool) (addr uint64, strided bool) {
 }
 
 // pickSrc picks a source register with a geometric dependence distance over
-// recently written registers.
+// recently written registers (v3: one alias-table probe instead of a
+// math.Log inverse transform — this is the hottest draw in the
+// generator, reached by nearly every synthesized instruction).
 func (g *Generator) pickSrc() uint8 {
 	if g.ringLen == 0 {
 		return uint8(g.rng.Intn(8)) // ambient value
 	}
-	var d int
-	if g.invLogDep != 0 {
-		if u := g.rng.Float64(); u > 0 {
-			d = int(math.Log(u) * g.invLogDep)
-		}
-	}
+	d := g.depDist.sample(&g.rng)
 	if d >= g.ringLen {
 		return uint8(g.rng.Intn(8))
 	}

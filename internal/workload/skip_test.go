@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// skipMatches asserts the core v3 contract: SkipTo(n) followed by m
+// instructions is byte-identical to generating n+m instructions straight
+// and discarding the first n.
+func skipMatches(t testing.TB, p *Profile, seed int64, slot int, n uint64, m int) {
+	t.Helper()
+	a := NewSlot(p, 0, 1, seed, slot)
+	b := NewSlot(p, 0, 1, seed, slot)
+	for i := uint64(0); i < n; i++ {
+		if _, ok := a.Next(); !ok {
+			break
+		}
+	}
+	if err := b.SkipTo(n); err != nil {
+		t.Fatalf("%s seed=%d slot=%d SkipTo(%d): %v", p.Name, seed, slot, n, err)
+	}
+	for i := 0; i < m; i++ {
+		x, okA := a.Next()
+		y, okB := b.Next()
+		if okA != okB || x != y {
+			t.Fatalf("%s seed=%d slot=%d: stream diverges %d after SkipTo(%d):\nstraight: %+v (ok=%v)\nskipped:  %+v (ok=%v)",
+				p.Name, seed, slot, i, n, x, okA, y, okB)
+		}
+		if !okA {
+			break
+		}
+	}
+}
+
+// TestSkipToConformance drives SkipTo across chunk boundaries, at exact
+// boundaries, within the first chunk, and past large distances, on both
+// the O(1) path (single-threaded profiles) and the sequential fallback
+// (synchronization profiles).
+func TestSkipToConformance(t *testing.T) {
+	positions := []uint64{0, 1, 17, ChunkLen - 1, ChunkLen, ChunkLen + 1,
+		3*ChunkLen - 5, 5 * ChunkLen, 7*ChunkLen + 1234}
+	for _, name := range []string{"gcc", "mcf", "swim", "art"} {
+		p := SPECByName(name)
+		if !New(p, 0, 1, 1).Skippable() {
+			t.Fatalf("%s: single-threaded profile not skippable", name)
+		}
+		for _, n := range positions {
+			skipMatches(t, p, 42, 0, n, 2000)
+		}
+	}
+	// Slots must not perturb the skip contract (the slot never enters a
+	// draw).
+	skipMatches(t, SPECByName("gcc"), 42, 5, 2*ChunkLen+100, 2000)
+	// Synchronization profiles use the sequential fallback.
+	for _, name := range []string{"streamcluster", "fluidanimate"} {
+		p := PARSECByName(name)
+		if New(p, 0, 2, 1).Skippable() {
+			t.Fatalf("%s: synchronization profile reported skippable", name)
+		}
+		skipMatches(t, p, 42, 0, ChunkLen+77, 2000)
+	}
+}
+
+// TestSkipToIsO1 asserts the mechanism, not just the result: a skip deep
+// into the stream must replay fewer than ChunkLen instructions, which it
+// proves by consuming no budget beyond the chunk remainder.
+func TestSkipToIsO1(t *testing.T) {
+	p := SPECByName("gcc")
+	g := New(p, 0, 1, 42)
+	const target = 1_000_000_000 // a billion instructions: sequential replay would take minutes
+	if err := g.SkipTo(target); err != nil {
+		t.Fatal(err)
+	}
+	in, ok := g.Next()
+	if !ok {
+		t.Fatal("stream ended after skip")
+	}
+	if in.Seq != target {
+		t.Fatalf("Seq after SkipTo(%d) = %d", target, in.Seq)
+	}
+}
+
+// TestSkipToBackward: skippable streams can skip backward (state is a
+// pure function of position); synchronization streams must refuse.
+func TestSkipToBackward(t *testing.T) {
+	g := New(SPECByName("gcc"), 0, 1, 42)
+	for i := 0; i < 3*ChunkLen; i++ {
+		g.Next()
+	}
+	if err := g.SkipTo(10); err != nil {
+		t.Fatal(err)
+	}
+	want := New(SPECByName("gcc"), 0, 1, 42)
+	want.SkipTo(10)
+	for i := 0; i < 100; i++ {
+		x, _ := g.Next()
+		y, _ := want.Next()
+		if x != y {
+			t.Fatalf("backward skip diverges at %d", i)
+		}
+	}
+
+	s := PARSECByName("streamcluster")
+	h := New(s, 0, 2, 42)
+	for i := 0; i < 100; i++ {
+		h.Next()
+	}
+	if err := h.SkipTo(5); err == nil {
+		t.Fatal("backward skip on a synchronization stream succeeded")
+	}
+}
+
+// TestDrawBudget audits the per-instruction draw discipline the counter
+// partitioning depends on: no synthesis path may consume more than
+// drawStride draws.
+func TestDrawBudget(t *testing.T) {
+	profiles := append(SPEC(), PARSEC()...)
+	for i := range profiles {
+		p := &profiles[i]
+		g := New(p, 0, 2, 42)
+		for i := 0; i < 50_000; i++ {
+			before := g.seq
+			_, ok := g.Next()
+			if !ok {
+				break
+			}
+			if g.rng.ctr < before*drawStride {
+				continue // pending-sync emission: no draws
+			}
+			if used := g.rng.ctr - before*drawStride; used > drawStride {
+				t.Fatalf("%s: instruction %d consumed %d draws (budget %d)", p.Name, before, used, drawStride)
+			}
+		}
+	}
+}
+
+// TestChunkResetKeepsStreamWellFormed: chunk boundaries are interior
+// stream positions, and the instructions straddling them must stay
+// valid (dense Seq, in-range classes, nonzero memory addresses).
+func TestChunkResetKeepsStreamWellFormed(t *testing.T) {
+	g := New(SPECByName("gcc"), 0, 1, 42)
+	for i := 0; i < 3*ChunkLen; i++ {
+		in, ok := g.Next()
+		if !ok {
+			t.Fatal("stream ended")
+		}
+		if in.Seq != uint64(i) {
+			t.Fatalf("Seq %d at position %d", in.Seq, i)
+		}
+		if int(in.Class) >= isa.NumClasses {
+			t.Fatalf("class %d out of range", in.Class)
+		}
+		if in.Class.IsMem() && in.Addr == 0 {
+			t.Fatalf("zero address at %d", i)
+		}
+	}
+}
+
+// FuzzSkipAhead fuzzes the core v3 contract over (profile, seed, slot,
+// n, m): SkipTo(n) then m instructions must be byte-identical to
+// generating n+m straight and discarding the prefix. Runs under -race
+// in CI.
+func FuzzSkipAhead(f *testing.F) {
+	f.Add(uint8(0), int64(42), uint8(0), uint32(0), uint16(500))
+	f.Add(uint8(3), int64(7), uint8(2), uint32(ChunkLen), uint16(1000))
+	f.Add(uint8(9), int64(-1), uint8(0), uint32(ChunkLen-1), uint16(2000))
+	f.Add(uint8(30), int64(1), uint8(0), uint32(3*ChunkLen+17), uint16(300))
+	f.Add(uint8(12), int64(1<<40), uint8(200), uint32(65537), uint16(4096))
+	profiles := append(SPEC(), PARSEC()...)
+	f.Fuzz(func(t *testing.T, pi uint8, seed int64, slot uint8, n uint32, m uint16) {
+		p := &profiles[int(pi)%len(profiles)]
+		skipMatches(t, p, seed, int(slot)%MaxSlots, uint64(n)%200_000, int(m))
+	})
+}
